@@ -1,0 +1,177 @@
+// dht_chord — the motivating DHT application (experiment E9, Section 1.1
+// and ref [3]).
+//
+// Places n physical servers and m = ratio * n keys with three schemes:
+//   * consistent  — plain consistent hashing (1 choice),
+//   * virtual     — Chord's fix: log2(n) virtual servers per physical,
+//   * two-choice  — each key probes d = 2 ring positions, goes to the
+//                   less-loaded successor.
+// Reports the key-load distribution across physical servers (max, stddev)
+// and the routing cost (mean lookup hops on the Chord fingers), showing
+// the paper's point: two choices match virtual servers' balance without
+// multiplying routing state by log n.
+//
+// Flags: --n=1024 --ratio=1 --trials=20 --seed=... --csv=PATH
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "dht/dht.hpp"
+#include "parallel/trial_runner.hpp"
+#include "sim/cli.hpp"
+#include "sim/csv.hpp"
+#include "stats/summary.hpp"
+
+namespace gd = geochoice::dht;
+namespace gr = geochoice::rng;
+namespace gm = geochoice::sim;
+
+namespace {
+
+struct SchemeStats {
+  double max_load = 0.0;
+  double load_stddev = 0.0;
+  double mean_hops = 0.0;
+  double routing_entries = 0.0;  // finger-table entries per physical server
+};
+
+geochoice::stats::RunningStats load_stats(
+    const std::vector<std::uint32_t>& loads) {
+  geochoice::stats::RunningStats rs;
+  for (std::uint32_t l : loads) rs.add(static_cast<double>(l));
+  return rs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  const std::uint64_t n = args.get_u64("n", 1u << 10);
+  const std::uint64_t ratio = args.get_u64("ratio", 1);
+  const std::uint64_t trials = args.get_u64("trials", 20);
+  const std::uint64_t seed = args.get_u64("seed", 0x63686f726421ULL);
+  const std::string csv_path = args.get_string("csv", "");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+  const std::uint64_t m = ratio * n;
+  const auto v_per_server = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(n))));
+
+  struct TrialOut {
+    SchemeStats consistent, virt, two_choice;
+  };
+
+  const auto results = geochoice::parallel::run_trials(
+      trials, seed, [&](std::uint64_t, gr::DefaultEngine& gen) {
+        TrialOut out;
+
+        // --- plain consistent hashing ---------------------------------
+        auto ring = gd::ChordRing::random(n, gen);
+        ring.build_fingers();
+        {
+          gd::TwoChoiceDht one(ring, 1);
+          std::uint64_t hops = 0;
+          for (std::uint64_t k = 0; k < m; ++k) hops += one.insert(gen).hops;
+          const auto rs = load_stats(one.loads());
+          out.consistent = {static_cast<double>(one.max_load()), rs.stddev(),
+                            static_cast<double>(hops) / static_cast<double>(m),
+                            static_cast<double>(ring.fingers_per_node())};
+        }
+
+        // --- virtual servers -------------------------------------------
+        {
+          const gd::VirtualServerRing vsr(n, v_per_server, gen);
+          std::vector<std::uint32_t> loads(n, 0);
+          // Virtual ring fingers for hop accounting.
+          gd::ChordRing vring = vsr.ring();
+          vring.build_fingers();
+          std::uint64_t hops = 0;
+          for (std::uint64_t k = 0; k < m; ++k) {
+            const double key = gr::uniform01(gen);
+            ++loads[vsr.physical_owner(key)];
+            const auto start = static_cast<std::uint32_t>(
+                gr::uniform_below(gen, vring.node_count()));
+            hops += vring.lookup(start, key).hops;
+          }
+          const auto rs = load_stats(loads);
+          out.virt = {
+              static_cast<double>(
+                  *std::max_element(loads.begin(), loads.end())),
+              rs.stddev(), static_cast<double>(hops) / static_cast<double>(m),
+              static_cast<double>(vring.fingers_per_node()) *
+                  static_cast<double>(v_per_server)};
+        }
+
+        // --- two choices ------------------------------------------------
+        {
+          gd::TwoChoiceDht two(ring, 2);
+          std::uint64_t hops = 0;
+          for (std::uint64_t k = 0; k < m; ++k) hops += two.insert(gen).hops;
+          const auto rs = load_stats(two.loads());
+          out.two_choice = {static_cast<double>(two.max_load()), rs.stddev(),
+                            static_cast<double>(hops) / static_cast<double>(m),
+                            static_cast<double>(ring.fingers_per_node())};
+        }
+        return out;
+      });
+
+  auto mean_of = [&](auto proj) {
+    double acc = 0.0;
+    for (const auto& r : results) acc += proj(r);
+    return acc / static_cast<double>(results.size());
+  };
+
+  std::printf(
+      "Chord load balancing: n = %llu physical servers, m = %llu keys, "
+      "%llu trials (virtual servers: %zu per physical)\n\n",
+      static_cast<unsigned long long>(n), static_cast<unsigned long long>(m),
+      static_cast<unsigned long long>(trials), v_per_server);
+  std::printf("%-12s %10s %10s %12s %14s\n", "scheme", "max keys",
+              "stddev", "hops/query", "route entries");
+
+  struct RowSpec {
+    const char* name;
+    SchemeStats TrialOut::*field;
+  };
+  const RowSpec specs[] = {{"consistent", &TrialOut::consistent},
+                           {"virtual", &TrialOut::virt},
+                           {"two-choice", &TrialOut::two_choice}};
+
+  std::unique_ptr<gm::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gm::CsvWriter>(
+        csv_path, std::vector<std::string>{"scheme", "max_keys", "stddev",
+                                           "hops", "route_entries"});
+  }
+
+  for (const auto& spec : specs) {
+    const double mx = mean_of([&](const TrialOut& r) {
+      return (r.*(spec.field)).max_load;
+    });
+    const double sd = mean_of([&](const TrialOut& r) {
+      return (r.*(spec.field)).load_stddev;
+    });
+    const double hops = mean_of([&](const TrialOut& r) {
+      return (r.*(spec.field)).mean_hops;
+    });
+    const double entries = mean_of([&](const TrialOut& r) {
+      return (r.*(spec.field)).routing_entries;
+    });
+    std::printf("%-12s %10.2f %10.3f %12.2f %14.1f\n", spec.name, mx, sd,
+                hops, entries);
+    if (csv) {
+      csv->row({spec.name, std::to_string(mx), std::to_string(sd),
+                std::to_string(hops), std::to_string(entries)});
+    }
+  }
+
+  std::printf(
+      "\nShape check: two-choice max ~ virtual max << consistent max, "
+      "with two-choice keeping the small routing table.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// dimension_sweep — the "higher constant dimension" generalization
+// (Section 3's closing remark; DESIGN.md E12).
+//
+// Runs the m = n, d-choice process with nearest-neighbor bins on the unit
+// torus in dimensions 1..4 (dimension 1 = the ring seen as nearest-point
+// cells) and prints mean max loads. The shape to verify: the d = 1 column
+// varies with dimension (region-size tails differ: arcs are exponential,
+// higher-D Voronoi cells progressively more concentrated), while every
+// d >= 2 column is flat in BOTH n and D — the two-choice bound is
+// dimension-free.
+//
+// Flags: --n=256,1024,4096 --trials=100 --seed=... --threads=... --csv=PATH
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+#include "parallel/trial_runner.hpp"
+#include "rng/streams.hpp"
+#include "sim/cli.hpp"
+#include "sim/csv.hpp"
+#include "sim/table_format.hpp"
+#include "spaces/torus_nd_space.hpp"
+#include "stats/histogram.hpp"
+
+namespace gm = geochoice::sim;
+namespace gc = geochoice::core;
+namespace gs = geochoice::spaces;
+namespace gr = geochoice::rng;
+
+namespace {
+
+template <int D>
+double mean_max_load(std::uint64_t n, int d, std::uint64_t trials,
+                     std::uint64_t seed, std::size_t threads) {
+  const auto maxima = geochoice::parallel::run_trials(
+      trials, gr::combine(seed, static_cast<std::uint64_t>(D * 8 + d)),
+      [&](std::uint64_t trial, gr::DefaultEngine&) {
+        auto servers = gr::make_stream(seed + D, trial,
+                                       gr::StreamPurpose::kServerPlacement);
+        auto balls =
+            gr::make_stream(seed + D, trial, gr::StreamPurpose::kBallChoices);
+        const auto space = gs::TorusNdSpace<D>::random(n, servers);
+        gc::ProcessOptions opt;
+        opt.num_balls = n;
+        opt.num_choices = d;
+        return gc::run_process(space, opt, balls).max_load;
+      },
+      threads);
+  geochoice::stats::IntHistogram h;
+  for (auto v : maxima) h.add(v);
+  return h.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  const auto sizes = args.get_u64_list("n", {256, 1024, 4096});
+  const std::uint64_t trials = args.get_u64("trials", 100);
+  const std::uint64_t seed = args.get_u64("seed", 0x64696d7321ULL);
+  const std::size_t threads = args.get_u64("threads", 0);
+  const std::string csv_path = args.get_string("csv", "");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<gm::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gm::CsvWriter>(
+        csv_path, std::vector<std::string>{"dimension", "n", "d",
+                                           "mean_max_load"});
+  }
+
+  std::printf(
+      "Nearest-neighbor bins on the unit D-torus, m = n, %llu trials\n",
+      static_cast<unsigned long long>(trials));
+  std::printf("%6s %8s | %8s %8s %8s\n", "D", "n", "d=1", "d=2", "d=3");
+
+  for (int dim = 1; dim <= 4; ++dim) {
+    for (std::uint64_t n : sizes) {
+      std::printf("%6d %8s |", dim, gm::pow2_label(n).c_str());
+      for (int d = 1; d <= 3; ++d) {
+        double mean = 0.0;
+        switch (dim) {
+          case 1:
+            mean = mean_max_load<1>(n, d, trials, seed, threads);
+            break;
+          case 2:
+            mean = mean_max_load<2>(n, d, trials, seed, threads);
+            break;
+          case 3:
+            mean = mean_max_load<3>(n, d, trials, seed, threads);
+            break;
+          case 4:
+            mean = mean_max_load<4>(n, d, trials, seed, threads);
+            break;
+        }
+        std::printf(" %8.2f", mean);
+        if (csv) {
+          csv->row({std::to_string(dim), std::to_string(n),
+                    std::to_string(d), std::to_string(mean)});
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nShape check: d>=2 columns are flat across dimensions and creep "
+      "at log log n pace in n; the d=1 column shrinks with D as cells "
+      "concentrate.\n");
+  return 0;
+}

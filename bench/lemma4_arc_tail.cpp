@@ -1,0 +1,113 @@
+// lemma4_arc_tail — validates Lemma 4 (and compares Lemma 5) empirically
+// (experiment E4).
+//
+// Over many placements of n random points on the circle, measures N_c =
+// #arcs of length >= c/n for a sweep of c, and prints:
+//   * empirical mean and max of N_c,
+//   * the analytic expectation n e^{-c},
+//   * the Lemma 4 high-probability bound 2 n e^{-c},
+//   * how often the bound was exceeded (should be ~never), and
+//   * a least-squares fit of the decay rate (Lemma 4 predicts b ~ 1).
+//
+// Flags: --n=65536 --trials=100 --cmin=2 --cmax=10 --seed=... --csv=PATH
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/theory.hpp"
+#include "geometry/ring_arithmetic.hpp"
+#include "parallel/trial_runner.hpp"
+#include "rng/rng.hpp"
+#include "sim/cli.hpp"
+#include "sim/csv.hpp"
+#include "stats/tail.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+namespace th = geochoice::core::theory;
+namespace gs = geochoice::stats;
+namespace gm = geochoice::sim;
+
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  const std::uint64_t n = args.get_u64("n", 1u << 16);
+  const std::uint64_t trials = args.get_u64("trials", 100);
+  const double cmin = args.get_double("cmin", 2.0);
+  const double cmax = args.get_double("cmax", 10.0);
+  const std::uint64_t seed = args.get_u64("seed", 0x6c656d6d613421ULL);
+  const std::string csv_path = args.get_string("csv", "");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+
+  std::vector<double> cs;
+  for (double c = cmin; c <= cmax + 1e-9; c += 1.0) cs.push_back(c);
+
+  // counts[trial][ci]
+  const auto counts = geochoice::parallel::run_trials(
+      trials, seed, [&](std::uint64_t, gr::DefaultEngine& gen) {
+        std::vector<double> pos(n);
+        for (double& p : pos) p = gr::uniform01(gen);
+        std::sort(pos.begin(), pos.end());
+        const auto arcs = gg::arc_lengths(pos);
+        std::vector<std::size_t> row(cs.size());
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+          row[i] = gg::count_arcs_at_least(arcs,
+                                           cs[i] / static_cast<double>(n));
+        }
+        return row;
+      });
+
+  std::unique_ptr<gm::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gm::CsvWriter>(
+        csv_path, std::vector<std::string>{"c", "mean_Nc", "max_Nc",
+                                           "expect", "bound", "violations"});
+  }
+
+  std::printf(
+      "Lemma 4 arc-length tail, n = %llu, %llu trials\n"
+      "%6s %12s %12s %14s %14s %11s\n",
+      static_cast<unsigned long long>(n),
+      static_cast<unsigned long long>(trials), "c", "mean N_c", "max N_c",
+      "n e^-c", "2n e^-c", "violations");
+
+  std::vector<gs::TailPoint> points;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    double mean = 0.0, mx = 0.0;
+    std::size_t violations = 0;
+    const double bound = th::arc_tail_bound(static_cast<double>(n), cs[i]);
+    for (const auto& row : counts) {
+      mean += static_cast<double>(row[i]);
+      mx = std::max(mx, static_cast<double>(row[i]));
+      if (static_cast<double>(row[i]) >= bound) ++violations;
+    }
+    mean /= static_cast<double>(trials);
+    const double expect = th::arc_tail_expectation(static_cast<double>(n),
+                                                   cs[i]);
+    points.push_back({cs[i], mean, mx, bound});
+    std::printf("%6.1f %12.2f %12.0f %14.2f %14.2f %8zu/%llu\n", cs[i], mean,
+                mx, expect, bound, violations,
+                static_cast<unsigned long long>(trials));
+    if (csv) {
+      csv->row({std::to_string(cs[i]), std::to_string(mean),
+                std::to_string(mx), std::to_string(expect),
+                std::to_string(bound), std::to_string(violations)});
+    }
+  }
+
+  const auto fit = gs::fit_exponential_tail(points);
+  std::printf(
+      "\nfit: log E[N_c] = %.3f - %.3f c   (Lemma 4 predicts intercept "
+      "~ln n = %.3f, slope ~1)\n",
+      fit.log_a, fit.b, std::log(static_cast<double>(n)));
+  std::printf(
+      "Lemma 5 (martingale) failure bound at c=%.0f: %.3e vs Lemma 4: "
+      "%.3e — negative dependence wins.\n",
+      cs.back(),
+      th::arc_tail_failure_prob_martingale(static_cast<double>(n), cs.back()),
+      th::arc_tail_failure_prob(static_cast<double>(n), cs.back()));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// mn_ratio — the m != n heavy-load regime (experiment E7, Section 2
+// remark 3).
+//
+// The paper: for m balls into n bins the maximum load is
+// O(m/n) + O(log log n / log d) w.h.p. This bench sweeps m/n and prints
+// mean max load and the overhead (max load - m/n), which should stay
+// nearly flat in m/n for d >= 2 and grow for d = 1.
+//
+// Flags: --n=4096 --ratios=1,2,4,8,16,32 --trials=100 --seed=...
+//        --threads=... --csv=PATH
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace gm = geochoice::sim;
+
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  const std::uint64_t n = args.get_u64("n", 1u << 12);
+  const auto ratios = args.get_u64_list("ratios", {1, 2, 4, 8, 16, 32});
+  const std::uint64_t trials = args.get_u64("trials", 100);
+  const std::uint64_t seed = args.get_u64("seed", 0x6d6e726174696fULL);
+  const std::size_t threads = args.get_u64("threads", 0);
+  const std::string csv_path = args.get_string("csv", "");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<gm::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gm::CsvWriter>(
+        csv_path, std::vector<std::string>{"ratio", "d", "mean_max_load",
+                                           "overhead"});
+  }
+
+  std::printf(
+      "Heavy load on the ring: n = %llu servers, m = ratio * n balls, "
+      "%llu trials\n",
+      static_cast<unsigned long long>(n),
+      static_cast<unsigned long long>(trials));
+  std::printf("%8s | %18s | %18s | %18s\n", "m/n", "d=1 (max, over)",
+              "d=2 (max, over)", "d=3 (max, over)");
+
+  for (std::uint64_t ratio : ratios) {
+    std::printf("%8llu |", static_cast<unsigned long long>(ratio));
+    for (int d = 1; d <= 3; ++d) {
+      gm::ExperimentConfig cfg;
+      cfg.space = gm::SpaceKind::kRing;
+      cfg.num_servers = n;
+      cfg.num_balls = ratio * n;
+      cfg.num_choices = d;
+      cfg.trials = trials;
+      cfg.seed = seed;
+      cfg.threads = threads;
+      const double mean = gm::run_max_load_experiment(cfg).mean();
+      const double overhead = mean - static_cast<double>(ratio);
+      std::printf("   %8.2f %7.2f |", mean, overhead);
+      if (csv) {
+        csv->row({std::to_string(ratio), std::to_string(d),
+                  std::to_string(mean), std::to_string(overhead)});
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check (paper: max load = O(m/n) + O(log log n / log d)): "
+      "the d=1 ratio max/(m/n) keeps growing, while for d>=2 it falls "
+      "toward a constant — the choices absorb the arc-length skew.\n");
+  return 0;
+}

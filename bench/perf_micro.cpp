@@ -1,0 +1,135 @@
+// perf_micro — engineering microbenchmarks (experiment E11).
+//
+// google-benchmark timings of the hot primitives: RNG draws, ring owner
+// lookups, torus nearest-neighbor queries, full d-choice placements, alias
+// sampling, and Voronoi construction. These are the knobs that decide how
+// far the paper-scale (--full) table runs can be pushed.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/process.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "geometry/voronoi.hpp"
+#include "rng/rng.hpp"
+#include "spaces/ring_space.hpp"
+#include "spaces/torus_space.hpp"
+#include "spaces/uniform_space.hpp"
+
+namespace gr = geochoice::rng;
+namespace gg = geochoice::geometry;
+namespace gs = geochoice::spaces;
+namespace gc = geochoice::core;
+
+static void BM_Xoshiro256StarStar(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen());
+  }
+}
+BENCHMARK(BM_Xoshiro256StarStar);
+
+static void BM_Philox4x32(benchmark::State& state) {
+  gr::Philox4x32 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen());
+  }
+}
+BENCHMARK(BM_Philox4x32);
+
+static void BM_Uniform01(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gr::uniform01(gen));
+  }
+}
+BENCHMARK(BM_Uniform01);
+
+static void BM_RingOwnerLookup(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(3);
+  const auto space = gs::RingSpace::random(
+      static_cast<std::size_t>(state.range(0)), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.owner(gr::uniform01(gen)));
+  }
+}
+BENCHMARK(BM_RingOwnerLookup)->Range(1 << 8, 1 << 20);
+
+static void BM_TorusNearestLookup(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(4);
+  const auto space = gs::TorusSpace::random(
+      static_cast<std::size_t>(state.range(0)), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        space.owner({gr::uniform01(gen), gr::uniform01(gen)}));
+  }
+}
+BENCHMARK(BM_TorusNearestLookup)->Range(1 << 8, 1 << 18);
+
+static void BM_AliasSample(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(5);
+  const auto w = gr::zipf_weights(4096, 1.0);
+  const gr::AliasTable table(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(gen));
+  }
+}
+BENCHMARK(BM_AliasSample);
+
+static void BM_ProcessPerBallRing(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(6);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto space = gs::RingSpace::random(n, gen);
+  gc::ProcessOptions opt;
+  opt.num_balls = n;
+  opt.num_choices = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gc::run_process(space, opt, gen));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProcessPerBallRing)->Range(1 << 10, 1 << 16);
+
+static void BM_ProcessPerBallUniform(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(7);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const gs::UniformSpace space(n);
+  gc::ProcessOptions opt;
+  opt.num_balls = n;
+  opt.num_choices = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gc::run_process(space, opt, gen));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProcessPerBallUniform)->Range(1 << 10, 1 << 16);
+
+static void BM_SpatialGridBuild(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(8);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<gg::Vec2> sites(n);
+  for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+  for (auto _ : state) {
+    gg::SpatialGrid grid(sites);
+    benchmark::DoNotOptimize(grid.site_count());
+  }
+}
+BENCHMARK(BM_SpatialGridBuild)->Range(1 << 10, 1 << 16);
+
+static void BM_VoronoiAreas(benchmark::State& state) {
+  gr::Xoshiro256StarStar gen(9);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<gg::Vec2> sites(n);
+  for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+  const gg::SpatialGrid grid(sites);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gg::voronoi_areas(grid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VoronoiAreas)->Range(1 << 8, 1 << 12);
+
+BENCHMARK_MAIN();

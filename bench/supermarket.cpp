@@ -1,0 +1,101 @@
+// supermarket — the dynamic d-choice queueing process on geometric spaces
+// (experiment E15; the paper conclusion's differential-equation setting).
+//
+// Sweeps the load factor lambda and prints the time-averaged fraction of
+// servers with queue length >= i for the uniform baseline (with its exact
+// fixed point lambda^{(d^i-1)/(d-1)}) and for the ring. Shape to verify:
+// the doubly exponential collapse survives the geometric bins, with a
+// modest constant-factor excess from the non-uniform arc lengths.
+//
+// Flags: --n=2000 --d=2 --warmup=30 --measure=120 --seed=... --csv=PATH
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/supermarket.hpp"
+#include "rng/streams.hpp"
+#include "sim/cli.hpp"
+#include "sim/csv.hpp"
+#include "spaces/ring_space.hpp"
+#include "spaces/uniform_space.hpp"
+
+namespace gc = geochoice::core;
+namespace gs = geochoice::spaces;
+namespace gr = geochoice::rng;
+namespace gm = geochoice::sim;
+
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  const std::uint64_t n = args.get_u64("n", 2000);
+  const int d = static_cast<int>(args.get_u64("d", 2));
+  const double warmup = args.get_double("warmup", 30.0);
+  const double measure = args.get_double("measure", 120.0);
+  const std::uint64_t seed = args.get_u64("seed", 0x73757065726dULL);
+  const std::string csv_path = args.get_string("csv", "");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<gm::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<gm::CsvWriter>(
+        csv_path, std::vector<std::string>{"lambda", "i", "predicted",
+                                           "uniform", "ring"});
+  }
+
+  constexpr int kMaxI = 6;
+  std::printf(
+      "Supermarket model, n = %llu servers, d = %d, warmup %.0f + "
+      "measure %.0f time units\n",
+      static_cast<unsigned long long>(n), d, warmup, measure);
+
+  for (double lambda : {0.5, 0.7, 0.9}) {
+    gc::SupermarketOptions opt;
+    opt.lambda = lambda;
+    opt.num_choices = d;
+    opt.warmup_time = warmup;
+    opt.measure_time = measure;
+
+    auto gen_u = gr::make_stream(seed, static_cast<std::uint64_t>(lambda * 100),
+                                 gr::StreamPurpose::kBallChoices);
+    const gs::UniformSpace uniform(n);
+    const auto ru = gc::run_supermarket(uniform, opt, gen_u);
+
+    auto gen_servers = gr::make_stream(
+        seed, static_cast<std::uint64_t>(lambda * 100),
+        gr::StreamPurpose::kServerPlacement);
+    const auto ring = gs::RingSpace::random(n, gen_servers);
+    auto gen_r = gr::make_stream(seed,
+                                 static_cast<std::uint64_t>(lambda * 100) + 1,
+                                 gr::StreamPurpose::kBallChoices);
+    const auto rr = gc::run_supermarket(ring, opt, gen_r);
+
+    const auto predicted = gc::supermarket_tails_uniform(lambda, d, kMaxI);
+
+    std::printf("\nlambda = %.2f   (peak queue: uniform %u, ring %u)\n",
+                lambda, ru.peak_queue, rr.peak_queue);
+    std::printf("%4s %14s %14s %14s\n", "i", "fixed point", "uniform",
+                "ring");
+    for (int i = 1; i <= kMaxI; ++i) {
+      std::printf("%4d %14.6g %14.6g %14.6g\n", i, predicted[i],
+                  ru.tail_fractions[i], rr.tail_fractions[i]);
+      if (csv) {
+        csv->row({std::to_string(lambda), std::to_string(i),
+                  std::to_string(predicted[i]),
+                  std::to_string(ru.tail_fractions[i]),
+                  std::to_string(rr.tail_fractions[i])});
+      }
+    }
+  }
+  std::printf(
+      "\nShape check: uniform matches the fixed point at every lambda. "
+      "The ring does NOT: servers owning long arcs have arrival rate "
+      "lambda*n*arc > 1, so the dynamic process pins them at high queue "
+      "levels and the bulk equalizes upward — the static Theorem 1 "
+      "collapse does not transfer to fixed-service-rate queueing. (Two "
+      "choices still cut the PEAK queue dramatically vs d = 1, where "
+      "oversubscribed servers are outright unstable.) This is the "
+      "conclusion's open question made quantitative.\n");
+  return 0;
+}

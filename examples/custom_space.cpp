@@ -1,0 +1,98 @@
+// custom_space — extending geochoice with a user-defined geometry.
+//
+// The core process is templated over the GeometricSpace concept, so any
+// space with (sample, owner, region_measure, bin_count) gets the d-choice
+// machinery, tie-breaking strategies, and harness for free. This example
+// implements nearest-neighbor bins on a *line segment* [0, 1] WITHOUT
+// wraparound — the 1-D Voronoi setting, whose boundary cells behave
+// differently from the ring's arcs — and confirms the two-choice effect
+// survives (the paper's Section 3 closing remark: only an exponential
+// region-size tail is needed).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/core.hpp"
+#include "rng/rng.hpp"
+#include "spaces/space.hpp"
+
+namespace gc = geochoice::core;
+namespace gs = geochoice::spaces;
+namespace gr = geochoice::rng;
+
+/// Bins are the 1-D Voronoi cells of n points on the segment [0, 1]:
+/// point i owns [ (x_{i-1}+x_i)/2, (x_i+x_{i+1})/2 ], with the first and
+/// last cells extended to the segment ends.
+class SegmentSpace {
+ public:
+  using Location = double;
+
+  static SegmentSpace random(std::size_t n, gr::DefaultEngine& gen) {
+    std::vector<double> pts(n);
+    for (double& p : pts) p = gr::uniform01(gen);
+    std::sort(pts.begin(), pts.end());
+    return SegmentSpace(std::move(pts));
+  }
+
+  explicit SegmentSpace(std::vector<double> sorted_points)
+      : points_(std::move(sorted_points)) {
+    const std::size_t n = points_.size();
+    boundaries_.reserve(n + 1);
+    boundaries_.push_back(0.0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      boundaries_.push_back(0.5 * (points_[i] + points_[i + 1]));
+    }
+    boundaries_.push_back(1.0);
+  }
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return points_.size();
+  }
+
+  [[nodiscard]] Location sample(gr::DefaultEngine& gen) const noexcept {
+    return gr::uniform01(gen);
+  }
+
+  [[nodiscard]] gs::BinIndex owner(Location x) const noexcept {
+    // First boundary > x; the owner is the cell to its left.
+    const auto it =
+        std::upper_bound(boundaries_.begin() + 1, boundaries_.end(), x);
+    return static_cast<gs::BinIndex>(it - boundaries_.begin() - 1);
+  }
+
+  [[nodiscard]] double region_measure(gs::BinIndex i) const noexcept {
+    return boundaries_[i + 1] - boundaries_[i];
+  }
+
+ private:
+  std::vector<double> points_;
+  std::vector<double> boundaries_;
+};
+
+static_assert(gs::GeometricSpace<SegmentSpace>);
+
+int main() {
+  constexpr std::size_t kBins = 8192;
+  gr::DefaultEngine gen(31337);
+  const auto segment = SegmentSpace::random(kBins, gen);
+
+  std::printf("custom 1-D Voronoi segment space, n = m = %zu\n\n", kBins);
+  for (const int d : {1, 2, 3}) {
+    gc::ProcessOptions opt;
+    opt.num_balls = kBins;
+    opt.num_choices = d;
+    auto balls = gr::DefaultEngine(5);
+    const auto result = gc::run_process(segment, opt, balls);
+    std::printf("d = %d:  max load = %2u\n", d, result.max_load);
+  }
+
+  // Region-size tie-breaking works on custom spaces too.
+  gc::ProcessOptions opt;
+  opt.num_balls = kBins;
+  opt.num_choices = 2;
+  opt.tie = gc::TieBreak::kSmallerRegion;
+  auto balls = gr::DefaultEngine(5);
+  std::printf("d = 2 + smaller-region ties:  max load = %2u\n",
+              gc::run_process(segment, opt, balls).max_load);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "core/result.hpp"
+
+namespace geochoice::core {
+
+std::size_t ProcessResult::bins_with_load_at_least(
+    std::uint32_t i) const noexcept {
+  std::size_t count = 0;
+  for (std::uint32_t load : loads) {
+    if (load >= i) ++count;
+  }
+  return count;
+}
+
+std::uint64_t ProcessResult::balls_with_height_at_least(
+    std::uint32_t i) const noexcept {
+  std::uint64_t count = 0;
+  for (const auto& [height, c] : heights.items()) {
+    if (height >= i) count += c;
+  }
+  return count;
+}
+
+stats::IntHistogram ProcessResult::load_histogram() const {
+  stats::IntHistogram h;
+  for (std::uint32_t load : loads) h.add(load);
+  return h;
+}
+
+}  // namespace geochoice::core

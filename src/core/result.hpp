@@ -1,0 +1,39 @@
+// result.hpp — outcome of one run of the allocation process.
+//
+// Besides the headline max load, the result retains the full load vector
+// and (optionally) the ball-height histogram, because the proof of
+// Theorem 1 reasons about ν_i (bins with load >= i) and μ_i (balls of
+// height >= i); tests and the lemma benches read those directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace geochoice::core {
+
+struct ProcessResult {
+  /// Final number of balls in each bin.
+  std::vector<std::uint32_t> loads;
+  /// max(loads).
+  std::uint32_t max_load = 0;
+  /// Number of balls placed (the paper's m).
+  std::uint64_t balls = 0;
+  /// Histogram of ball heights (position in the stack at insertion time,
+  /// 1-based). Only populated when ProcessOptions::record_heights is set.
+  stats::IntHistogram heights;
+
+  /// ν_i: number of bins with load >= i.
+  [[nodiscard]] std::size_t bins_with_load_at_least(
+      std::uint32_t i) const noexcept;
+
+  /// μ_i: number of balls with height >= i (requires record_heights).
+  [[nodiscard]] std::uint64_t balls_with_height_at_least(
+      std::uint32_t i) const noexcept;
+
+  /// Histogram of final bin loads (load value -> bin count).
+  [[nodiscard]] stats::IntHistogram load_histogram() const;
+};
+
+}  // namespace geochoice::core

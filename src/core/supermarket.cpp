@@ -1,0 +1,25 @@
+#include "core/supermarket.hpp"
+
+#include <cmath>
+
+namespace geochoice::core {
+
+std::vector<double> supermarket_tails_uniform(double lambda, int d,
+                                              int max_i) {
+  std::vector<double> s(static_cast<std::size_t>(max_i) + 1, 0.0);
+  s[0] = 1.0;
+  for (int i = 1; i <= max_i; ++i) {
+    double exponent;
+    if (d == 1) {
+      exponent = static_cast<double>(i);  // M/M/1: s_i = lambda^i
+    } else {
+      // (d^i - 1) / (d - 1)
+      exponent = (std::pow(static_cast<double>(d), i) - 1.0) /
+                 (static_cast<double>(d) - 1.0);
+    }
+    s[i] = std::pow(lambda, exponent);
+  }
+  return s;
+}
+
+}  // namespace geochoice::core

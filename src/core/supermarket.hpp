@@ -1,0 +1,163 @@
+// supermarket.hpp — the continuous-time d-choice queueing process
+// ("supermarket model") over geometric spaces.
+//
+// The paper's conclusion points at Mitzenmacher's differential-equation
+// method, which was developed for exactly this dynamic process: customers
+// arrive as a Poisson stream of rate λn, each samples d locations in the
+// space and joins the shortest queue among the owning servers; every
+// server serves its FIFO queue at rate 1. For *uniform* bins the
+// stationary fraction of servers with queue length >= i is the classic
+//
+//     s_i = λ^{(d^i - 1)/(d - 1)}             (d >= 2; λ^i for d = 1),
+//
+// a doubly exponential tail. geochoice simulates the process exactly (a
+// race of exponentials over the CTMC) for ANY GeometricSpace, so the bench
+// can ask the open question empirically: how close does the geometric
+// (ring) version stay to the uniform fixed point?
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "spaces/space.hpp"
+
+namespace geochoice::core {
+
+struct SupermarketOptions {
+  /// Arrival rate per server; the system is stable for lambda < 1.
+  double lambda = 0.9;
+  int num_choices = 2;
+  /// Simulated time discarded before measurement starts.
+  double warmup_time = 20.0;
+  /// Simulated time over which tail fractions are time-averaged.
+  double measure_time = 100.0;
+  /// Track tail fractions s_1..s_max_tracked.
+  int max_tracked = 16;
+};
+
+struct SupermarketResult {
+  /// Time-averaged fraction of servers with queue length >= i,
+  /// for i = 0..max_tracked (s_0 == 1 by definition).
+  std::vector<double> tail_fractions;
+  /// Largest queue length observed during the measurement window.
+  std::uint32_t peak_queue = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+};
+
+/// Stationary tail prediction for UNIFORM bins:
+/// s_i = lambda^{(d^i - 1)/(d - 1)} (the M/M/1 geometric tail when d = 1).
+[[nodiscard]] std::vector<double> supermarket_tails_uniform(double lambda,
+                                                            int d,
+                                                            int max_i);
+
+/// Simulate the supermarket process on `space` and return time-averaged
+/// tail fractions. Exact CTMC simulation: at total event rate
+/// R = lambda*n + busy, the next event is an arrival with probability
+/// lambda*n / R, else a departure at a uniformly random busy server.
+template <spaces::GeometricSpace S>
+[[nodiscard]] SupermarketResult run_supermarket(const S& space,
+                                                const SupermarketOptions& opt,
+                                                rng::DefaultEngine& gen) {
+  const std::size_t n = space.bin_count();
+  if (n == 0) throw std::invalid_argument("run_supermarket: empty space");
+  if (opt.num_choices < 1) {
+    throw std::invalid_argument("run_supermarket: need >= 1 choice");
+  }
+  if (!(opt.lambda > 0.0) || opt.lambda >= 1.0) {
+    throw std::invalid_argument(
+        "run_supermarket: lambda must be in (0, 1) for stability");
+  }
+
+  std::vector<std::uint32_t> queue(n, 0);
+  // Busy-server index for O(1) uniform departure sampling.
+  std::vector<std::uint32_t> busy;            // server ids with queue > 0
+  std::vector<std::uint32_t> busy_pos(n, 0);  // position of server in `busy`
+  busy.reserve(n);
+
+  // nu[i] = number of servers with queue >= i (i <= max_tracked).
+  const int max_i = opt.max_tracked;
+  std::vector<std::size_t> nu(static_cast<std::size_t>(max_i) + 1, 0);
+  nu[0] = n;
+  std::vector<double> weighted(nu.size(), 0.0);  // time-integrated nu
+
+  SupermarketResult result;
+  const double arrival_rate = opt.lambda * static_cast<double>(n);
+  const double t_end = opt.warmup_time + opt.measure_time;
+  double t = 0.0;
+
+  auto enqueue = [&](std::uint32_t server) {
+    const std::uint32_t q = ++queue[server];
+    if (q == 1) {
+      busy_pos[server] = static_cast<std::uint32_t>(busy.size());
+      busy.push_back(server);
+    }
+    if (q <= static_cast<std::uint32_t>(max_i)) ++nu[q];
+    if (t >= opt.warmup_time && q > result.peak_queue) {
+      result.peak_queue = q;
+    }
+  };
+  auto dequeue = [&](std::uint32_t server) {
+    const std::uint32_t q = queue[server]--;
+    if (q <= static_cast<std::uint32_t>(max_i)) --nu[q];
+    if (q == 1) {
+      // Remove from the busy list by swap-with-last.
+      const std::uint32_t pos = busy_pos[server];
+      busy[pos] = busy.back();
+      busy_pos[busy[pos]] = pos;
+      busy.pop_back();
+    }
+  };
+
+  while (t < t_end) {
+    const double total_rate =
+        arrival_rate + static_cast<double>(busy.size());
+    const double dt = rng::exponential(gen, total_rate);
+    const double t_next = t + dt;
+    // Time-integrate the tail counters over [t, t_next) ∩ [warmup, end).
+    const double lo = std::max(t, opt.warmup_time);
+    const double hi = std::min(t_next, t_end);
+    if (hi > lo) {
+      for (std::size_t i = 0; i < nu.size(); ++i) {
+        weighted[i] += static_cast<double>(nu[i]) * (hi - lo);
+      }
+    }
+    t = t_next;
+    if (t >= t_end) break;
+
+    if (rng::uniform01(gen) * total_rate < arrival_rate) {
+      // Arrival: d choices, join the shortest queue (ties to first probe).
+      std::uint32_t best = 0;
+      std::uint32_t best_q = 0;
+      for (int j = 0; j < opt.num_choices; ++j) {
+        const auto loc = space.sample(gen);
+        const auto bin = static_cast<std::uint32_t>(space.owner(loc));
+        if (j == 0 || queue[bin] < best_q) {
+          best = bin;
+          best_q = queue[bin];
+        }
+      }
+      enqueue(best);
+      ++result.arrivals;
+    } else {
+      // Departure at a uniformly random busy server.
+      const auto idx = static_cast<std::uint32_t>(
+          rng::uniform_below(gen, busy.size()));
+      dequeue(busy[idx]);
+      ++result.departures;
+    }
+  }
+
+  result.tail_fractions.resize(nu.size());
+  const double denom = opt.measure_time * static_cast<double>(n);
+  for (std::size_t i = 0; i < nu.size(); ++i) {
+    result.tail_fractions[i] = weighted[i] / denom;
+  }
+  return result;
+}
+
+}  // namespace geochoice::core

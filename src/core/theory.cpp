@@ -1,0 +1,134 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace geochoice::core::theory {
+
+double loglog_bound(double n, int d) noexcept {
+  assert(d >= 2);
+  return std::log(std::log(n)) / std::log(static_cast<double>(d));
+}
+
+double single_choice_scale(double n) noexcept {
+  const double ln = std::log(n);
+  return ln / std::log(ln);
+}
+
+double single_choice_geometric_scale(double n) noexcept {
+  return std::log(n);
+}
+
+double chernoff_double_mean(double n, double p) noexcept {
+  return std::exp(-n * p / 3.0);
+}
+
+double arc_tail_expectation(double n, double c) noexcept {
+  return n * std::exp(-c);
+}
+
+double arc_tail_bound(double n, double c) noexcept {
+  return 2.0 * arc_tail_expectation(n, c);
+}
+
+double arc_tail_failure_prob(double n, double c) noexcept {
+  return std::exp(-n * std::exp(-c) / 3.0);
+}
+
+double arc_tail_failure_prob_martingale(double n, double c) noexcept {
+  return std::exp(-n * std::exp(-2.0 * c) / 8.0);
+}
+
+double largest_arcs_sum_bound(double n, double a) noexcept {
+  assert(a > 0.0 && a < n);
+  return 2.0 * (a / n) * std::log(n / a);
+}
+
+double voronoi_tail_expectation(double n, double c) noexcept {
+  return 6.0 * n * std::exp(-c / 6.0);
+}
+
+double voronoi_tail_bound(double n, double c) noexcept {
+  return 2.0 * voronoi_tail_expectation(n, c);
+}
+
+double theorem1_step(double n, int d, double beta) noexcept {
+  const double p = 2.0 * (beta / n) * std::log(n / beta);
+  return 2.0 * n * std::pow(p, d);
+}
+
+Theorem1Recursion theorem1_recursion(double n, int d) {
+  Theorem1Recursion rec;
+  double beta = n / 256.0;
+  rec.beta.push_back(beta);
+  const double p_stop = 6.0 * std::log(n) / n;
+  const int guard =
+      static_cast<int>(10.0 * std::max(1.0, loglog_bound(n, std::max(2, d)))) +
+      32;
+  for (int i = 0; i < guard; ++i) {
+    const double p = std::pow(2.0 * (beta / n) * std::log(n / beta), d);
+    if (p < p_stop) {
+      rec.steps_to_terminate = i;
+      return rec;
+    }
+    beta = theorem1_step(n, d, beta);
+    if (beta < 1.0) beta = 1.0;  // recursion only meaningful above one bin
+    rec.beta.push_back(beta);
+  }
+  rec.steps_to_terminate = guard;
+  return rec;
+}
+
+std::vector<double> fluid_limit_tails(int d, double t_end, int max_i,
+                                      int rk4_steps) {
+  assert(d >= 1 && max_i >= 0 && rk4_steps > 0);
+  // s[0] = 1 always; s[i] fraction of bins with load >= i.
+  std::vector<double> s(static_cast<std::size_t>(max_i) + 1, 0.0);
+  s[0] = 1.0;
+  if (max_i == 0 || t_end <= 0.0) return s;
+
+  auto deriv = [&](const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = 0.0;
+    for (int i = 1; i <= max_i; ++i) {
+      const double below = std::pow(y[i - 1], d);
+      const double self = std::pow(y[i], d);
+      dy[i] = below - self;
+    }
+  };
+
+  const double h = t_end / static_cast<double>(rk4_steps);
+  std::vector<double> k1(s.size()), k2(s.size()), k3(s.size()), k4(s.size()),
+      tmp(s.size());
+  for (int step = 0; step < rk4_steps; ++step) {
+    deriv(s, k1);
+    for (std::size_t i = 0; i < s.size(); ++i) tmp[i] = s[i] + 0.5 * h * k1[i];
+    deriv(tmp, k2);
+    for (std::size_t i = 0; i < s.size(); ++i) tmp[i] = s[i] + 0.5 * h * k2[i];
+    deriv(tmp, k3);
+    for (std::size_t i = 0; i < s.size(); ++i) tmp[i] = s[i] + h * k3[i];
+    deriv(tmp, k4);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      s[i] = std::clamp(s[i], 0.0, 1.0);
+    }
+  }
+  // Monotonicity can be violated by rounding at the tail; enforce it.
+  for (int i = 1; i <= max_i; ++i) s[i] = std::min(s[i], s[i - 1]);
+  return s;
+}
+
+double poisson_max_load_cdf(double n, double m, double k) {
+  const double lambda = m / n;
+  // P(Poisson(lambda) > k) = 1 - sum_{j<=k} e^-l l^j / j!
+  double term = std::exp(-lambda);
+  double cdf = term;
+  for (int j = 1; j <= static_cast<int>(k); ++j) {
+    term *= lambda / static_cast<double>(j);
+    cdf += term;
+  }
+  const double tail = std::max(0.0, 1.0 - cdf);
+  return std::exp(-n * tail);
+}
+
+}  // namespace geochoice::core::theory

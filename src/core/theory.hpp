@@ -1,0 +1,80 @@
+// theory.hpp — analytic quantities from the paper, used as test oracles and
+// printed alongside measurements in the benches.
+//
+//   * the headline log log n / log d prediction (Theorem 1 / Azar et al.),
+//   * Lemma 2's Chernoff bound  Pr(B(n,p) >= 2np) <= e^{-np/3},
+//   * Lemma 4's arc tail      E[N_c] <= n e^{-c},  bound 2 n e^{-c},
+//   * Lemma 5's Azuma tail    Pr(N_c >= 2 n e^{-c}) <= e^{-n e^{-2c}/8},
+//   * Lemma 6's largest-arcs sum bound  2 (a/n) ln(n/a),
+//   * Lemma 9's Voronoi tail  12 n e^{-c/6},
+//   * the Theorem 1 layered-induction recursion β_{i+1} = 2n(2 β_i/n ·
+//     ln(n/β_i))^d and its termination index i* (Claim 10: i* =
+//     log log n / log d + O(1)),
+//   * the fluid-limit ODE for the *uniform* d-choice process
+//     (ds_i/dt = s_{i-1}^d − s_d^i with s_0 = 1), the conclusion's
+//     differential-equation method, exact in the n → ∞ limit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace geochoice::core::theory {
+
+/// log log n / log d — the leading term of Theorem 1's bound (d >= 2).
+[[nodiscard]] double loglog_bound(double n, int d) noexcept;
+
+/// Θ(log n / log log n) — the d = 1 maximum load scale for uniform bins.
+[[nodiscard]] double single_choice_scale(double n) noexcept;
+
+/// Θ(log n) — the d = 1 maximum load scale for *geometric* bins, where the
+/// largest region alone has measure Θ(log n / n).
+[[nodiscard]] double single_choice_geometric_scale(double n) noexcept;
+
+/// Lemma 2: e^{-np/3}, the probability that B(n, p) >= 2np.
+[[nodiscard]] double chernoff_double_mean(double n, double p) noexcept;
+
+/// Lemma 4: expected number of arcs of length >= c/n is <= n e^{-c}; the
+/// high-probability bound is twice that.
+[[nodiscard]] double arc_tail_expectation(double n, double c) noexcept;
+[[nodiscard]] double arc_tail_bound(double n, double c) noexcept;
+/// Lemma 4 failure probability e^{-n e^{-c}/3}.
+[[nodiscard]] double arc_tail_failure_prob(double n, double c) noexcept;
+/// Lemma 5 (martingale) failure probability e^{-n e^{-2c}/8}.
+[[nodiscard]] double arc_tail_failure_prob_martingale(double n,
+                                                      double c) noexcept;
+
+/// Lemma 6: bound 2 (a/n) ln(n/a) on the total length of the a longest arcs.
+[[nodiscard]] double largest_arcs_sum_bound(double n, double a) noexcept;
+
+/// Lemma 9: bound 12 n e^{-c/6} on the number of Voronoi cells of area
+/// >= c/n, and its expectation-level version 6 n e^{-c/6}.
+[[nodiscard]] double voronoi_tail_expectation(double n, double c) noexcept;
+[[nodiscard]] double voronoi_tail_bound(double n, double c) noexcept;
+
+/// One evaluation of the Theorem 1 recursion β_{i+1} = 2n (2 (β/n) ln(n/β))^d.
+[[nodiscard]] double theorem1_step(double n, int d, double beta) noexcept;
+
+struct Theorem1Recursion {
+  /// β_i values starting from β_{i0} = n/256 (i0 = 256 in the paper; the
+  /// offset is bookkeeping — only the number of further steps matters).
+  std::vector<double> beta;
+  /// Number of recursion steps until p_i = (2 (β_i/n) ln(n/β_i))^d drops
+  /// below 6 ln n / n — the paper's i* minus the starting offset.
+  int steps_to_terminate = 0;
+};
+
+/// Run the recursion until termination (or 10 log log n steps as a guard).
+[[nodiscard]] Theorem1Recursion theorem1_recursion(double n, int d);
+
+/// Fluid limit of the uniform d-choice process run for time t = m/n:
+/// returns s_i = lim fraction of bins with load >= i, for i = 0..max_i,
+/// integrating ds_i/dt = s_{i-1}^d − s_i^d (s_0 ≡ 1) with RK4.
+[[nodiscard]] std::vector<double> fluid_limit_tails(int d, double t_end,
+                                                    int max_i,
+                                                    int rk4_steps = 4096);
+
+/// Exact distribution of the maximum load for the d = 1 *uniform* case via
+/// the Poisson approximation: P(max <= k) ≈ exp(-n · P(Poisson(m/n) > k)).
+[[nodiscard]] double poisson_max_load_cdf(double n, double m, double k);
+
+}  // namespace geochoice::core::theory

@@ -1,0 +1,49 @@
+#include "core/tie_breaking.hpp"
+
+#include <stdexcept>
+
+namespace geochoice::core {
+
+std::string_view to_string(TieBreak t) noexcept {
+  switch (t) {
+    case TieBreak::kRandom:
+      return "random";
+    case TieBreak::kFirstChoice:
+      return "first";
+    case TieBreak::kSmallerRegion:
+      return "smaller";
+    case TieBreak::kLargerRegion:
+      return "larger";
+    case TieBreak::kLowestIndex:
+      return "lowest-index";
+  }
+  return "?";
+}
+
+std::string_view to_string(ChoiceScheme s) noexcept {
+  switch (s) {
+    case ChoiceScheme::kIndependent:
+      return "independent";
+    case ChoiceScheme::kPartitioned:
+      return "partitioned";
+  }
+  return "?";
+}
+
+TieBreak tie_break_from_string(std::string_view name) {
+  if (name == "random" || name == "arc-random") return TieBreak::kRandom;
+  if (name == "first" || name == "left" || name == "arc-left") {
+    return TieBreak::kFirstChoice;
+  }
+  if (name == "smaller" || name == "arc-smaller") {
+    return TieBreak::kSmallerRegion;
+  }
+  if (name == "larger" || name == "arc-larger") {
+    return TieBreak::kLargerRegion;
+  }
+  if (name == "lowest-index") return TieBreak::kLowestIndex;
+  throw std::invalid_argument("unknown tie-break strategy: " +
+                              std::string(name));
+}
+
+}  // namespace geochoice::core

@@ -1,0 +1,53 @@
+// tie_breaking.hpp — what to do when several choices have the same load.
+//
+// Table 3 of the paper shows tie-breaking is not a detail: with d = 2 on
+// the ring, breaking ties toward the *smaller* arc beats random ties and
+// even Vöcking's always-go-left scheme. The strategies here map to the
+// paper's columns:
+//
+//   kLargerRegion  — "arc-larger"  (worst; pushes mass onto big arcs)
+//   kRandom        — "arc-random"  (the Theorem 1 setting)
+//   kFirstChoice   — "arc-left"    (always prefer the earlier probe; with
+//                     the partitioned sampler this is Vöcking's scheme)
+//   kSmallerRegion — "arc-smaller" (best; open problem in the paper)
+//   kLowestIndex   — deterministic by bin id; useful for reproducibility
+//                     tests, not part of the paper's ablation
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace geochoice::core {
+
+enum class TieBreak {
+  kRandom,
+  kFirstChoice,
+  kSmallerRegion,
+  kLargerRegion,
+  kLowestIndex,
+};
+
+/// How the d probe locations are drawn.
+enum class ChoiceScheme {
+  /// Each probe uniform over the whole space (the paper's main model).
+  kIndependent,
+  /// Vöcking's variation (Section 2, remark 4): probe j is drawn uniformly
+  /// from the j-th of d equal sub-intervals of the ring. Combine with
+  /// TieBreak::kFirstChoice for the always-go-left scheme. Only meaningful
+  /// for spaces whose Location is a ring coordinate (double).
+  kPartitioned,
+};
+
+[[nodiscard]] std::string_view to_string(TieBreak t) noexcept;
+[[nodiscard]] std::string_view to_string(ChoiceScheme s) noexcept;
+
+/// Parse "random" / "first" / "smaller" / "larger" / "lowest-index"
+/// (also accepts the paper's arc-* aliases). Throws std::invalid_argument.
+[[nodiscard]] TieBreak tie_break_from_string(std::string_view name);
+
+/// True when the strategy needs region measures (arc lengths / cell areas).
+[[nodiscard]] constexpr bool needs_region_measure(TieBreak t) noexcept {
+  return t == TieBreak::kSmallerRegion || t == TieBreak::kLargerRegion;
+}
+
+}  // namespace geochoice::core

@@ -1,0 +1,105 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/ring_arithmetic.hpp"
+
+namespace geochoice::dht {
+
+ChordRing::ChordRing(std::vector<double> node_ids)
+    : ids_(std::move(node_ids)) {
+  if (ids_.empty()) {
+    throw std::invalid_argument("ChordRing: need at least one node");
+  }
+  for (double id : ids_) {
+    if (!(id >= 0.0 && id < 1.0)) {
+      throw std::invalid_argument("ChordRing: ids must lie in [0, 1)");
+    }
+  }
+  std::sort(ids_.begin(), ids_.end());
+}
+
+ChordRing ChordRing::random(std::size_t n, rng::DefaultEngine& gen) {
+  std::vector<double> ids(n);
+  for (double& id : ids) id = rng::uniform01(gen);
+  return ChordRing(std::move(ids));
+}
+
+std::uint32_t ChordRing::successor(double key) const noexcept {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), key);
+  if (it == ids_.end()) return 0;  // wrap to the first node
+  return static_cast<std::uint32_t>(it - ids_.begin());
+}
+
+double ChordRing::owned_arc(std::uint32_t i) const noexcept {
+  const std::size_t n = ids_.size();
+  const std::size_t pred = (i == 0) ? n - 1 : i - 1;
+  return geometry::ring_gap(ids_[pred], ids_[i]);
+}
+
+void ChordRing::build_fingers(int fingers) {
+  const std::size_t n = ids_.size();
+  if (fingers <= 0) {
+    fingers = static_cast<int>(
+                  std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(
+                      2, n))))) +
+              1;
+  }
+  fingers_per_node_ = fingers;
+  fingers_.assign(n * static_cast<std::size_t>(fingers), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < fingers; ++k) {
+      // Finger k spans 2^{-(k+1)} of the ring: k = 0 is the halfway finger,
+      // larger k are progressively closer (Chord's table, normalized).
+      const double target =
+          geometry::wrap01(ids_[i] + std::ldexp(1.0, -(k + 1)));
+      fingers_[i * static_cast<std::size_t>(fingers) +
+               static_cast<std::size_t>(k)] = successor(target);
+    }
+  }
+}
+
+LookupResult ChordRing::lookup(std::uint32_t from_node, double key) const {
+  if (!has_fingers()) {
+    throw std::logic_error("ChordRing::lookup: call build_fingers() first");
+  }
+  const std::size_t n = ids_.size();
+  const std::uint32_t owner = successor(key);
+  std::uint32_t cur = from_node;
+  std::uint32_t hops = 0;
+  while (cur != owner && hops <= n) {
+    const double dist = geometry::ring_gap(ids_[cur], key);
+    // Candidate next hops: the successor link plus all fingers. Take the
+    // one making the most clockwise progress without passing the key.
+    std::uint32_t next = (cur + 1) % static_cast<std::uint32_t>(n);
+    double best_progress = -1.0;
+    bool found = false;
+    auto consider = [&](std::uint32_t cand) {
+      if (cand == cur) return;
+      const double p = geometry::ring_gap(ids_[cur], ids_[cand]);
+      if (p <= dist && p > best_progress) {
+        best_progress = p;
+        next = cand;
+        found = true;
+      }
+    };
+    consider((cur + 1) % static_cast<std::uint32_t>(n));
+    const std::size_t base =
+        static_cast<std::size_t>(cur) * static_cast<std::size_t>(fingers_per_node_);
+    for (int k = 0; k < fingers_per_node_; ++k) {
+      consider(fingers_[base + static_cast<std::size_t>(k)]);
+    }
+    if (!found) {
+      // No node lies in (cur, key]: the immediate successor owns the key.
+      next = (cur + 1) % static_cast<std::uint32_t>(n);
+    }
+    cur = next;
+    ++hops;
+  }
+  return {owner, hops};
+}
+
+}  // namespace geochoice::dht

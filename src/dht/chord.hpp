@@ -1,0 +1,81 @@
+// chord.hpp — a Chord-style consistent-hashing ring with finger tables.
+//
+// The paper's motivating application (Section 1.1): servers and keys hash
+// onto a one-dimensional ring; a key is stored at its *successor* — the
+// first server clockwise from it (Chord's convention, the mirror image of
+// the arc-ownership convention in spaces::RingSpace; both induce the same
+// arc-length distribution). Each server keeps a logarithmic finger table;
+// greedy routing resolves a lookup in O(log n) hops.
+//
+// This module exists so the two-choice placement can be evaluated *in situ*
+// — key distribution per server AND lookup cost — against plain consistent
+// hashing and Chord's virtual-servers fix (virtual_servers.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace geochoice::dht {
+
+struct LookupResult {
+  /// Node index (into the sorted ring) that owns the key.
+  std::uint32_t owner = 0;
+  /// Routing hops taken from the start node (0 when the start node already
+  /// owns the key).
+  std::uint32_t hops = 0;
+};
+
+class ChordRing {
+ public:
+  /// Build from node identifiers in [0, 1); sorted internally. Node index i
+  /// refers to the i-th identifier in sorted order.
+  explicit ChordRing(std::vector<double> node_ids);
+
+  /// n nodes hashed uniformly at random.
+  static ChordRing random(std::size_t n, rng::DefaultEngine& gen);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return ids_.size();
+  }
+  [[nodiscard]] double node_id(std::uint32_t i) const noexcept {
+    return ids_[i];
+  }
+  [[nodiscard]] std::span<const double> node_ids() const noexcept {
+    return ids_;
+  }
+
+  /// Chord ownership: index of the first node with id >= key (wrapping to
+  /// node 0 past the last node).
+  [[nodiscard]] std::uint32_t successor(double key) const noexcept;
+
+  /// Length of the arc owned by node i (from its predecessor to it).
+  [[nodiscard]] double owned_arc(std::uint32_t i) const noexcept;
+
+  /// Build finger tables. Finger k of node i points to
+  /// successor(id_i + 2^{-(k+1)}), k = 0 .. fingers-1; `fingers` defaults to
+  /// ceil(log2 n) + 1. Must be called before lookup().
+  void build_fingers(int fingers = 0);
+  [[nodiscard]] bool has_fingers() const noexcept {
+    return fingers_per_node_ > 0;
+  }
+  [[nodiscard]] int fingers_per_node() const noexcept {
+    return fingers_per_node_;
+  }
+
+  /// Greedy Chord routing from `from_node` to the owner of `key`: repeatedly
+  /// jump to the farthest finger that does not overshoot the key, falling
+  /// back to the successor link. Requires build_fingers().
+  [[nodiscard]] LookupResult lookup(std::uint32_t from_node,
+                                    double key) const;
+
+ private:
+  std::vector<double> ids_;      // sorted
+  std::vector<std::uint32_t> fingers_;  // node_count * fingers_per_node_
+  int fingers_per_node_ = 0;
+};
+
+}  // namespace geochoice::dht

@@ -1,0 +1,101 @@
+// churn.hpp — a dynamic consistent-hashing ring under server churn.
+//
+// The paper's DHT application is not static: peers join and leave. This
+// module simulates the dynamic setting the companion work [3] targets:
+//
+//   * servers join at random ring positions, capturing keys from their
+//     successor's arc;
+//   * servers leave, and their keys are *re-inserted* using each key's d
+//     candidate positions against the current loads (for d = 1 this
+//     degenerates to "hand everything to the successor");
+//   * new keys arrive with d candidate positions and go to the
+//     least-loaded candidate successor.
+//
+// Metrics: maximum keys per server over time, and the number of keys moved
+// per churn event (the data-movement cost that virtual servers inflate by
+// a log n factor and two-choices keeps at the consistent-hashing minimum).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace geochoice::dht {
+
+class ChurnSimulator {
+ public:
+  /// Start with `initial_servers` at random positions; keys use `d`
+  /// candidate positions each.
+  ChurnSimulator(std::size_t initial_servers, int d,
+                 rng::DefaultEngine& gen);
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return ring_.size();
+  }
+  [[nodiscard]] std::size_t key_count() const noexcept { return live_keys_; }
+  [[nodiscard]] int choices() const noexcept { return d_; }
+
+  /// Insert a fresh key (d random candidates, least-loaded placement).
+  void insert_key(rng::DefaultEngine& gen);
+
+  /// A new server joins at a uniform position. Keys whose *chosen*
+  /// position now belongs to the joiner migrate to it. Returns the number
+  /// of keys moved.
+  std::size_t join(rng::DefaultEngine& gen);
+
+  /// A uniformly random server leaves; its keys are re-placed via their
+  /// candidate positions (excluding the leaver). Returns keys moved.
+  /// No-op returning 0 when only one server remains.
+  std::size_t leave(rng::DefaultEngine& gen);
+
+  /// Current maximum number of keys on any server.
+  [[nodiscard]] std::uint32_t max_load() const noexcept;
+
+  /// Loads in unspecified server order (for distribution statistics).
+  [[nodiscard]] std::vector<std::uint32_t> loads() const;
+
+  /// Total keys moved by all join/leave events so far.
+  [[nodiscard]] std::uint64_t total_moved() const noexcept {
+    return total_moved_;
+  }
+
+  /// Invariant check used by tests: every key's chosen position must
+  /// currently map to the server that stores it, and per-server key counts
+  /// must be consistent. Returns true when consistent.
+  [[nodiscard]] bool check_consistency() const;
+
+ private:
+  struct Key {
+    std::vector<double> candidates;  // d hash positions
+    double chosen = 0.0;             // the candidate it currently lives at
+    std::uint32_t server = 0;        // internal server slot
+    bool live = false;
+  };
+
+  struct Server {
+    std::vector<std::uint32_t> keys;  // key ids stored here
+    bool live = false;
+  };
+
+  /// Server slot owning ring position x (successor convention).
+  [[nodiscard]] std::uint32_t owner_of(double x) const;
+
+  /// Place key `key_id` on the least-loaded of its candidates' current
+  /// owners (ties to the first candidate). Appends to that server's key
+  /// list and updates the key record. Callers handling a departure erase
+  /// the leaver from the ring first, so owner lookups are already correct.
+  void place_key(std::uint32_t key_id);
+
+  int d_;
+  std::map<double, std::uint32_t> ring_;  // position -> server slot
+  std::vector<Server> servers_;
+  std::vector<std::uint32_t> free_server_slots_;
+  std::vector<Key> keys_;
+  std::size_t live_keys_ = 0;
+  std::uint64_t total_moved_ = 0;
+};
+
+}  // namespace geochoice::dht

@@ -1,0 +1,50 @@
+#include "dht/two_choice_dht.hpp"
+
+#include <stdexcept>
+
+namespace geochoice::dht {
+
+TwoChoiceDht::TwoChoiceDht(const ChordRing& ring, int d)
+    : ring_(&ring), d_(d), loads_(ring.node_count(), 0) {
+  if (d < 1) throw std::invalid_argument("TwoChoiceDht: d must be >= 1");
+}
+
+InsertStats TwoChoiceDht::insert(rng::DefaultEngine& gen) {
+  InsertStats out;
+  std::uint32_t best_server = 0;
+  std::uint32_t best_load = 0;
+  int best_probe = 0;
+  const bool count_hops = ring_->has_fingers();
+  std::uint32_t start_node = 0;
+  if (count_hops) {
+    start_node = static_cast<std::uint32_t>(
+        rng::uniform_below(gen, ring_->node_count()));
+  }
+  for (int j = 0; j < d_; ++j) {
+    const double pos = rng::uniform01(gen);
+    const std::uint32_t server = ring_->successor(pos);
+    if (count_hops) {
+      out.hops += ring_->lookup(start_node, pos).hops;
+    }
+    const std::uint32_t load = loads_[server];
+    if (j == 0 || load < best_load) {
+      best_server = server;
+      best_load = load;
+      best_probe = j;
+    }
+  }
+  ++loads_[best_server];
+  if (loads_[best_server] > max_load_) max_load_ = loads_[best_server];
+  ++keys_;
+  probe_position_sum_ += static_cast<std::uint64_t>(best_probe) + 1;
+  out.chosen_server = best_server;
+  return out;
+}
+
+double TwoChoiceDht::mean_lookup_probes() const noexcept {
+  if (keys_ == 0) return 0.0;
+  return static_cast<double>(probe_position_sum_) /
+         static_cast<double>(keys_);
+}
+
+}  // namespace geochoice::dht

@@ -1,0 +1,63 @@
+// two_choice_dht.hpp — the paper's proposal applied to the DHT (ref [3]).
+//
+// Instead of virtual servers, each *key* considers d independent positions
+// on the ring and is stored at the successor server that currently holds
+// the fewest keys. A small redirect record suffices at lookup time (the
+// querier tries the d candidate positions); routing state per server stays
+// O(log n) instead of O(log^2 n).
+//
+// The class tracks per-server key loads and, when the ring has finger
+// tables, the routing cost of inserts and lookups (an insert must consult
+// the load at all d candidates; a lookup probes candidates until it finds
+// the key — worst case d lookups, expected fewer with the "try the
+// first-hash location first" discipline modeled here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/chord.hpp"
+#include "rng/distributions.hpp"
+#include "stats/summary.hpp"
+
+namespace geochoice::dht {
+
+struct InsertStats {
+  std::uint32_t chosen_server = 0;
+  /// Total routing hops spent probing the d candidates (0 if the ring has
+  /// no finger tables built).
+  std::uint32_t hops = 0;
+};
+
+class TwoChoiceDht {
+ public:
+  /// `ring` must outlive the DHT. d >= 1.
+  TwoChoiceDht(const ChordRing& ring, int d);
+
+  [[nodiscard]] int choices() const noexcept { return d_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
+  [[nodiscard]] std::uint64_t key_count() const noexcept { return keys_; }
+
+  /// Insert one key: draw d candidate ring positions, place at the
+  /// least-loaded candidate successor (ties to the first probe). When the
+  /// ring has fingers, hops are accounted from a random start node.
+  InsertStats insert(rng::DefaultEngine& gen);
+
+  /// Expected lookup probes for a key inserted under this scheme, assuming
+  /// the querier retries candidates in hash order: the position index
+  /// (1-based) of the winning candidate, averaged over inserted keys.
+  [[nodiscard]] double mean_lookup_probes() const noexcept;
+
+ private:
+  const ChordRing* ring_;
+  int d_;
+  std::vector<std::uint32_t> loads_;
+  std::uint32_t max_load_ = 0;
+  std::uint64_t keys_ = 0;
+  std::uint64_t probe_position_sum_ = 0;  // 1-based winning probe indices
+};
+
+}  // namespace geochoice::dht

@@ -1,0 +1,73 @@
+#include "dht/virtual_servers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace geochoice::dht {
+
+namespace {
+
+struct Tagged {
+  double id;
+  std::uint32_t physical;
+};
+
+/// Draw v_per_server ids for each physical server and sort by id, so the
+/// sorted order matches ChordRing's internal order exactly.
+std::vector<Tagged> draw_tagged(std::size_t n_physical,
+                                std::size_t v_per_server,
+                                rng::DefaultEngine& gen) {
+  if (n_physical == 0 || v_per_server == 0) {
+    throw std::invalid_argument(
+        "VirtualServerRing: need >= 1 server and >= 1 vnode each");
+  }
+  std::vector<Tagged> tagged;
+  tagged.reserve(n_physical * v_per_server);
+  for (std::uint32_t p = 0; p < n_physical; ++p) {
+    for (std::size_t v = 0; v < v_per_server; ++v) {
+      tagged.push_back({rng::uniform01(gen), p});
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) { return a.id < b.id; });
+  return tagged;
+}
+
+std::vector<double> ids_of(const std::vector<Tagged>& tagged) {
+  std::vector<double> ids(tagged.size());
+  for (std::size_t i = 0; i < tagged.size(); ++i) ids[i] = tagged[i].id;
+  return ids;
+}
+
+std::vector<std::uint32_t> owners_of(const std::vector<Tagged>& tagged) {
+  std::vector<std::uint32_t> owners(tagged.size());
+  for (std::size_t i = 0; i < tagged.size(); ++i) {
+    owners[i] = tagged[i].physical;
+  }
+  return owners;
+}
+
+}  // namespace
+
+VirtualServerRing::VirtualServerRing(std::size_t n_physical,
+                                     std::size_t v_per_server,
+                                     rng::DefaultEngine& gen)
+    : n_physical_(n_physical),
+      v_per_server_(v_per_server),
+      ring_(std::vector<double>{0.0}),  // placeholder, replaced just below
+      owner_of_vnode_() {
+  const std::vector<Tagged> tagged = draw_tagged(n_physical, v_per_server, gen);
+  ring_ = ChordRing(ids_of(tagged));
+  owner_of_vnode_ = owners_of(tagged);
+}
+
+std::vector<double> VirtualServerRing::owned_arc_per_physical() const {
+  std::vector<double> arc(n_physical_, 0.0);
+  for (std::uint32_t v = 0; v < ring_.node_count(); ++v) {
+    arc[owner_of_vnode_[v]] += ring_.owned_arc(v);
+  }
+  return arc;
+}
+
+}  // namespace geochoice::dht

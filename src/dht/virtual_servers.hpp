@@ -1,0 +1,54 @@
+// virtual_servers.hpp — Chord's virtual-servers load-balancing baseline.
+//
+// The Chord authors' fix for arc-length imbalance (cited in the paper's
+// introduction): every physical server simulates v = Θ(log n) virtual nodes
+// at independent random positions, so the total arc owned by a physical
+// server concentrates around 1/n. This is the baseline the two-choice
+// scheme is compared against in DESIGN.md experiment E9 — it balances well
+// but multiplies routing state by v.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/chord.hpp"
+
+namespace geochoice::dht {
+
+class VirtualServerRing {
+ public:
+  /// `n_physical` servers, each hosting `v_per_server` virtual nodes at
+  /// uniformly random ids.
+  VirtualServerRing(std::size_t n_physical, std::size_t v_per_server,
+                    rng::DefaultEngine& gen);
+
+  [[nodiscard]] std::size_t physical_count() const noexcept {
+    return n_physical_;
+  }
+  [[nodiscard]] std::size_t virtual_per_server() const noexcept {
+    return v_per_server_;
+  }
+  [[nodiscard]] const ChordRing& ring() const noexcept { return ring_; }
+
+  /// Physical owner of a key: the physical server hosting the key's virtual
+  /// successor.
+  [[nodiscard]] std::uint32_t physical_owner(double key) const noexcept {
+    return owner_of_vnode_[ring_.successor(key)];
+  }
+
+  /// Physical server hosting virtual node `v`.
+  [[nodiscard]] std::uint32_t physical_of(std::uint32_t vnode) const noexcept {
+    return owner_of_vnode_[vnode];
+  }
+
+  /// Total arc length owned by each physical server (sums to 1).
+  [[nodiscard]] std::vector<double> owned_arc_per_physical() const;
+
+ private:
+  std::size_t n_physical_;
+  std::size_t v_per_server_;
+  ChordRing ring_;
+  std::vector<std::uint32_t> owner_of_vnode_;  // by sorted vnode index
+};
+
+}  // namespace geochoice::dht

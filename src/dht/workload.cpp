@@ -1,0 +1,65 @@
+#include "dht/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace geochoice::dht {
+
+namespace {
+
+/// Pick a target key index in [0, n) with Zipf(alpha) popularity by rank
+/// (rank 0 = oldest key = most popular). Uses the continuous inverse-CDF
+/// approximation of the Zipf distribution, which is standard practice for
+/// workload generators and exact enough for load-shape experiments.
+std::uint64_t pick_target(double alpha, std::uint64_t n,
+                          rng::DefaultEngine& gen) {
+  if (n <= 1) return 0;
+  if (alpha <= 0.0) return rng::uniform_below(gen, n);
+  const double u = rng::uniform01(gen);
+  double rank;  // continuous rank in [1, n]
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    rank = std::pow(static_cast<double>(n), u);
+  } else {
+    const double na = std::pow(static_cast<double>(n), 1.0 - alpha);
+    rank = std::pow(u * (na - 1.0) + 1.0, 1.0 / (1.0 - alpha));
+  }
+  auto idx = static_cast<std::uint64_t>(rank) - 1;
+  return std::min(idx, n - 1);
+}
+
+}  // namespace
+
+std::vector<Op> generate_workload(const WorkloadConfig& cfg,
+                                  rng::DefaultEngine& gen) {
+  if (cfg.lookup_fraction < 0.0 || cfg.delete_fraction < 0.0 ||
+      cfg.lookup_fraction + cfg.delete_fraction > 1.0) {
+    throw std::invalid_argument("generate_workload: bad mix fractions");
+  }
+  std::vector<Op> ops;
+  ops.reserve(cfg.operations);
+  std::uint64_t live = 0;    // inserted minus deleted so far
+  std::uint64_t inserted = 0;
+  for (std::uint64_t i = 0; i < cfg.operations; ++i) {
+    const double r = rng::uniform01(gen);
+    Op op;
+    if (live > 0 && r < cfg.lookup_fraction) {
+      op.type = OpType::kLookup;
+      op.target = pick_target(cfg.zipf_alpha, inserted, gen);
+    } else if (live > 0 &&
+               r < cfg.lookup_fraction + cfg.delete_fraction) {
+      op.type = OpType::kDelete;
+      op.target = rng::uniform_below(gen, inserted);
+      --live;
+    } else {
+      op.type = OpType::kInsert;
+      op.key = rng::uniform01(gen);
+      ++inserted;
+      ++live;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace geochoice::dht

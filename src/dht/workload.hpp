@@ -1,0 +1,45 @@
+// workload.hpp — key workload generators for DHT experiments.
+//
+// The paper's experiments hash items uniformly; real peer-to-peer traces
+// are skewed, so the DHT benches also exercise Zipf-popular keys and a
+// join/leave churn mix to show the two-choice placement is not brittle
+// outside the theorem's hypotheses (the paper's footnote 2 anticipates
+// exactly this question for the 2-D ATM scenario).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace geochoice::dht {
+
+enum class OpType : std::uint8_t { kInsert, kLookup, kDelete };
+
+struct Op {
+  OpType type = OpType::kInsert;
+  /// Ring position of the key (for inserts: a fresh key's first hash).
+  double key = 0.0;
+  /// For lookups/deletes: index into the previously inserted keys.
+  std::uint64_t target = 0;
+};
+
+struct WorkloadConfig {
+  std::uint64_t operations = 0;
+  /// Mix fractions; must sum to <= 1, remainder goes to inserts.
+  double lookup_fraction = 0.0;
+  double delete_fraction = 0.0;
+  /// Zipf skew for lookup targets (0 = uniform over live keys).
+  double zipf_alpha = 0.0;
+};
+
+/// Generate an operation sequence. Lookups/deletes target keys inserted
+/// earlier in the sequence (Zipf-ranked by insertion age when alpha > 0);
+/// the generator guarantees targets are valid at execution time if deletes
+/// are applied in order.
+[[nodiscard]] std::vector<Op> generate_workload(const WorkloadConfig& cfg,
+                                                rng::DefaultEngine& gen);
+
+}  // namespace geochoice::dht

@@ -1,0 +1,18 @@
+// geometry.hpp — umbrella header for the geochoice geometry substrate.
+//
+//   * point.hpp           — Vec2, unit-torus metric
+//   * ring_arithmetic.hpp — unit-circle arcs, owner lookup, arc statistics
+//   * spatial_grid.hpp    — O(1)-expected torus nearest-neighbor queries
+//   * polygon.hpp         — convex polygons with half-plane clipping
+//   * voronoi.hpp         — exact torus Voronoi cells and areas
+//   * sector.hpp          — Lemma 8 six-sector predicate, Lemma 9 statistic
+#pragma once
+
+#include "geometry/grid_nd.hpp"          // IWYU pragma: export
+#include "geometry/point.hpp"            // IWYU pragma: export
+#include "geometry/polygon.hpp"          // IWYU pragma: export
+#include "geometry/vecd.hpp"             // IWYU pragma: export
+#include "geometry/ring_arithmetic.hpp"  // IWYU pragma: export
+#include "geometry/sector.hpp"           // IWYU pragma: export
+#include "geometry/spatial_grid.hpp"     // IWYU pragma: export
+#include "geometry/voronoi.hpp"          // IWYU pragma: export

@@ -1,0 +1,89 @@
+// point.hpp — 2-D vector/point primitives and unit-torus metric.
+//
+// The paper's 2-D setting (Section 3) is the unit torus: the square
+// [0,1) x [0,1) with wraparound along both axes. All distances below are the
+// flat torus metric: Euclidean distance to the nearest periodic image.
+#pragma once
+
+#include <cmath>
+
+namespace geochoice::geometry {
+
+/// Plain 2-D vector. Used both for free vectors and for torus points
+/// (coordinates then live in [0, 1)).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) noexcept {
+    return {s * v.x, s * v.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 v, double s) noexcept { return s * v; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+};
+
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// z-component of the 3-D cross product; > 0 when b is counterclockwise
+/// of a.
+[[nodiscard]] constexpr double cross(Vec2 a, Vec2 b) noexcept {
+  return a.x * b.y - a.y * b.x;
+}
+
+[[nodiscard]] constexpr double norm2(Vec2 v) noexcept { return dot(v, v); }
+
+[[nodiscard]] inline double norm(Vec2 v) noexcept {
+  return std::sqrt(norm2(v));
+}
+
+/// Wrap a scalar into [0, 1). Handles any finite input.
+[[nodiscard]] inline double wrap01(double v) noexcept {
+  const double w = v - std::floor(v);
+  // floor of an integral value can leave w == 1.0 after rounding.
+  return w >= 1.0 ? 0.0 : w;
+}
+
+/// Wrap a point onto the fundamental domain [0,1)^2.
+[[nodiscard]] inline Vec2 wrap01(Vec2 p) noexcept {
+  return {wrap01(p.x), wrap01(p.y)};
+}
+
+/// Signed coordinate difference wrapped into [-1/2, 1/2): the displacement
+/// from `b` to the nearest periodic image of `a`.
+[[nodiscard]] inline double torus_delta(double a, double b) noexcept {
+  double d = a - b;
+  if (d >= 0.5) d -= 1.0;
+  if (d < -0.5) d += 1.0;
+  // One more pass for inputs further than one period apart.
+  if (d >= 0.5 || d < -0.5) d -= std::floor(d + 0.5);
+  return d;
+}
+
+/// Displacement from `b` to the nearest image of `a` on the torus.
+[[nodiscard]] inline Vec2 torus_delta(Vec2 a, Vec2 b) noexcept {
+  return {torus_delta(a.x, b.x), torus_delta(a.y, b.y)};
+}
+
+/// Squared flat-torus distance. The cheap primitive: nearest-neighbor
+/// queries compare these, avoiding the sqrt.
+[[nodiscard]] inline double torus_dist2(Vec2 a, Vec2 b) noexcept {
+  return norm2(torus_delta(a, b));
+}
+
+[[nodiscard]] inline double torus_dist(Vec2 a, Vec2 b) noexcept {
+  return std::sqrt(torus_dist2(a, b));
+}
+
+/// Diameter of the unit torus: the largest possible torus distance,
+/// attained at the center of the fundamental square (sqrt(1/2)).
+inline constexpr double kTorusDiameter = 0.70710678118654752440;
+
+}  // namespace geochoice::geometry

@@ -1,0 +1,85 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geochoice::geometry {
+
+ConvexPolygon ConvexPolygon::centered_square(double half_width) {
+  const double h = half_width;
+  return ConvexPolygon({{-h, -h}, {h, -h}, {h, h}, {-h, h}});
+}
+
+void ConvexPolygon::clip_half_plane(Vec2 point, Vec2 normal) {
+  if (empty()) return;
+  scratch_.clear();
+  const std::size_t n = verts_.size();
+  // Signed "outside-ness": s > 0 means the vertex is cut away.
+  auto side = [&](Vec2 v) { return dot(v - point, normal); };
+  double s_prev = side(verts_[n - 1]);
+  Vec2 prev = verts_[n - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 cur = verts_[i];
+    const double s_cur = side(cur);
+    const bool in_prev = s_prev <= 0.0;
+    const bool in_cur = s_cur <= 0.0;
+    if (in_cur != in_prev) {
+      // Edge crosses the boundary: emit the intersection point.
+      const double t = s_prev / (s_prev - s_cur);
+      scratch_.push_back(prev + t * (cur - prev));
+    }
+    if (in_cur) scratch_.push_back(cur);
+    prev = cur;
+    s_prev = s_cur;
+  }
+  verts_.swap(scratch_);
+  if (verts_.size() < 3) verts_.clear();
+}
+
+double ConvexPolygon::area() const noexcept {
+  if (empty()) return 0.0;
+  double twice = 0.0;
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = verts_[i];
+    const Vec2 b = verts_[(i + 1) % n];
+    twice += cross(a, b);
+  }
+  return 0.5 * twice;
+}
+
+Vec2 ConvexPolygon::centroid() const noexcept {
+  if (empty()) return {};
+  double twice_area = 0.0;
+  Vec2 acc{};
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = verts_[i];
+    const Vec2 b = verts_[(i + 1) % n];
+    const double w = cross(a, b);
+    twice_area += w;
+    acc = acc + w * (a + b);
+  }
+  if (twice_area == 0.0) return {};
+  return (1.0 / (3.0 * twice_area)) * acc;
+}
+
+double ConvexPolygon::max_vertex_radius() const noexcept {
+  double best2 = 0.0;
+  for (const Vec2 v : verts_) best2 = std::max(best2, norm2(v));
+  return std::sqrt(best2);
+}
+
+bool ConvexPolygon::contains(Vec2 p, double eps) const noexcept {
+  if (empty()) return false;
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = verts_[i];
+    const Vec2 b = verts_[(i + 1) % n];
+    // CCW polygon: inside points are left of every edge.
+    if (cross(b - a, p - a) < -eps) return false;
+  }
+  return true;
+}
+
+}  // namespace geochoice::geometry

@@ -1,0 +1,70 @@
+// polygon.hpp — convex polygon with half-plane clipping.
+//
+// The exact Voronoi-cell construction (voronoi.hpp) represents each cell as
+// a convex polygon in site-local coordinates and clips it by perpendicular
+// bisectors. Only the operations that construction needs are provided:
+// Sutherland–Hodgman clipping against a line, area (shoelace), vertex
+// radius, and point membership.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace geochoice::geometry {
+
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+
+  /// Vertices must be in counterclockwise order and strictly convex
+  /// (no repeated points); the constructors used by the library guarantee
+  /// this by construction.
+  explicit ConvexPolygon(std::vector<Vec2> vertices)
+      : verts_(std::move(vertices)) {}
+
+  /// Axis-aligned square centered at the origin with the given half-width,
+  /// CCW. The Voronoi builder starts from this (the torus fundamental cell
+  /// around a site when half_width = 1/2).
+  static ConvexPolygon centered_square(double half_width);
+
+  [[nodiscard]] bool empty() const noexcept { return verts_.size() < 3; }
+  [[nodiscard]] std::span<const Vec2> vertices() const noexcept {
+    return verts_;
+  }
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return verts_.size();
+  }
+
+  /// Clip to the half-plane { x : dot(x - point, normal) <= 0 }.
+  /// After clipping, the polygon may become empty.
+  void clip_half_plane(Vec2 point, Vec2 normal);
+
+  /// Clip to the set of points (in site-local coordinates, site at the
+  /// origin) at least as close to the origin as to `other`:
+  /// { x : |x|^2 <= |x - other|^2 }. This is the perpendicular-bisector
+  /// half-plane with midpoint other/2 and outward normal `other`.
+  void clip_bisector(Vec2 other) { clip_half_plane(0.5 * other, other); }
+
+  /// Polygon area by the shoelace formula; 0 for degenerate polygons.
+  [[nodiscard]] double area() const noexcept;
+
+  /// Centroid (area-weighted); origin for degenerate polygons.
+  [[nodiscard]] Vec2 centroid() const noexcept;
+
+  /// Largest distance from the origin to a vertex. The Voronoi builder's
+  /// security radius: once every unprocessed neighbor is farther than twice
+  /// this, the cell is final.
+  [[nodiscard]] double max_vertex_radius() const noexcept;
+
+  /// True when `p` lies inside or on the boundary (tolerance `eps` on the
+  /// signed edge distance).
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-12) const noexcept;
+
+ private:
+  std::vector<Vec2> verts_;
+  std::vector<Vec2> scratch_;  // reused clip buffer to avoid reallocation
+};
+
+}  // namespace geochoice::geometry

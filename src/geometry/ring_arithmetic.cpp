@@ -1,0 +1,57 @@
+#include "geometry/ring_arithmetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace geochoice::geometry {
+
+std::size_t ring_owner(std::span<const double> sorted_positions,
+                       double x) noexcept {
+  assert(!sorted_positions.empty());
+  // First position strictly greater than x; the owner is its predecessor.
+  const auto it = std::upper_bound(sorted_positions.begin(),
+                                   sorted_positions.end(), x);
+  if (it == sorted_positions.begin()) {
+    // x precedes every server: it lies on the wrapping arc of the last one.
+    return sorted_positions.size() - 1;
+  }
+  return static_cast<std::size_t>(it - sorted_positions.begin()) - 1;
+}
+
+std::vector<double> arc_lengths(std::span<const double> sorted_positions) {
+  const std::size_t n = sorted_positions.size();
+  std::vector<double> arcs(n);
+  if (n == 0) return arcs;
+  if (n == 1) {
+    arcs[0] = 1.0;
+    return arcs;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    arcs[i] = sorted_positions[i + 1] - sorted_positions[i];
+  }
+  arcs[n - 1] = 1.0 - sorted_positions[n - 1] + sorted_positions[0];
+  return arcs;
+}
+
+std::size_t count_arcs_at_least(std::span<const double> arcs,
+                                double threshold) noexcept {
+  std::size_t count = 0;
+  for (double a : arcs) {
+    if (a >= threshold) ++count;
+  }
+  return count;
+}
+
+double sum_of_largest(std::span<const double> arcs, std::size_t a) {
+  a = std::min(a, arcs.size());
+  if (a == 0) return 0.0;
+  std::vector<double> copy(arcs.begin(), arcs.end());
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(a) - 1,
+                   copy.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a; ++i) sum += copy[i];
+  return sum;
+}
+
+}  // namespace geochoice::geometry

@@ -1,0 +1,51 @@
+#include "geometry/sector.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace geochoice::geometry {
+
+int sector_of(Vec2 delta) noexcept {
+  const double angle = std::atan2(delta.y, delta.x);  // (-pi, pi]
+  const double two_pi = 2.0 * std::numbers::pi;
+  double a = angle < 0.0 ? angle + two_pi : angle;    // [0, 2pi)
+  int s = static_cast<int>(a / (std::numbers::pi / 3.0));
+  return s >= 6 ? 5 : s;  // guard the a -> 2pi rounding edge
+}
+
+double disk_radius_for_area(double a) noexcept {
+  return std::sqrt(a / std::numbers::pi);
+}
+
+unsigned empty_sector_mask(const SpatialGrid& grid, std::uint32_t site_index,
+                           double disk_area) {
+  const double rho = disk_radius_for_area(disk_area);
+  const Vec2 u = grid.sites()[site_index];
+  unsigned occupied = 0;
+  grid.for_each_within(
+      u, rho,
+      [&](std::uint32_t idx, double /*d2*/) {
+        const Vec2 delta = torus_delta(grid.sites()[idx], u);
+        occupied |= 1u << sector_of(delta);
+      },
+      site_index);
+  return (~occupied) & 0x3fu;
+}
+
+std::size_t lemma9_z_statistic(const SpatialGrid& grid, double c_over_n) {
+  std::size_t z = 0;
+  for (std::uint32_t i = 0; i < grid.site_count(); ++i) {
+    z += static_cast<std::size_t>(
+        std::popcount(empty_sector_mask(grid, i, c_over_n)));
+  }
+  return z;
+}
+
+bool lemma8_holds(const SpatialGrid& grid, std::uint32_t site_index,
+                  double cell_area, double disk_area) {
+  if (cell_area < disk_area) return true;  // lemma's hypothesis not met
+  return empty_sector_mask(grid, site_index, disk_area) != 0;
+}
+
+}  // namespace geochoice::geometry

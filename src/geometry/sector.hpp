@@ -1,0 +1,47 @@
+// sector.hpp — the six-sector construction of Lemma 8.
+//
+// Lemma 8: divide the disk of area c/n around a site u into six 60° sectors
+// (sector 0 spans [0°, 60°) from the positive x-axis, counterclockwise).
+// If the Voronoi cell of u has area >= c/n, at least one sector contains no
+// other site. Lemma 9 sums the empty-sector indicators Z_{i,j} into the
+// statistic Z that upper-bounds the number of large cells.
+//
+// This module provides the predicate and the Z statistic so the bench
+// `lemma9_voronoi_tail` can validate both the geometric lemma (no cell ever
+// violates it) and the resulting tail bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/spatial_grid.hpp"
+
+namespace geochoice::geometry {
+
+/// Sector index (0..5) of a nonzero displacement: floor(angle / 60°).
+[[nodiscard]] int sector_of(Vec2 delta) noexcept;
+
+/// Radius of the disk of area `a`: sqrt(a / pi).
+[[nodiscard]] double disk_radius_for_area(double a) noexcept;
+
+/// Bitmask (bits 0..5) of the sectors of the area-`disk_area` disk around
+/// `site_index` that contain NO other site. Bit j set <=> sector j empty.
+[[nodiscard]] unsigned empty_sector_mask(const SpatialGrid& grid,
+                                         std::uint32_t site_index,
+                                         double disk_area);
+
+/// Lemma 9's Z statistic: total number of empty sectors over all sites,
+/// for disks of area `c_over_n` (the paper's c/n). E[Z] < 6 n e^{-c/6}.
+[[nodiscard]] std::size_t lemma9_z_statistic(const SpatialGrid& grid,
+                                             double c_over_n);
+
+/// Verify Lemma 8 for one site: if its Voronoi area is >= disk_area then
+/// at least one sector must be empty. Returns false only on a (theoretically
+/// impossible) violation; exercised as a property test.
+[[nodiscard]] bool lemma8_holds(const SpatialGrid& grid,
+                                std::uint32_t site_index, double cell_area,
+                                double disk_area);
+
+}  // namespace geochoice::geometry

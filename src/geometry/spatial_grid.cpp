@@ -1,0 +1,119 @@
+#include "geometry/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace geochoice::geometry {
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> sites,
+                         std::uint32_t buckets_per_axis)
+    : sites_(sites.begin(), sites.end()) {
+  const std::size_t n = sites_.size();
+  std::uint32_t k = buckets_per_axis;
+  if (k == 0) {
+    k = static_cast<std::uint32_t>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  }
+  // An odd bucket count makes the Chebyshev rings 0..(k-1)/2 an exact
+  // partition of all buckets, so ring iteration never revisits a site.
+  if (k % 2 == 0) ++k;
+  k_ = k;
+  cell_ = 1.0 / static_cast<double>(k_);
+
+  const std::size_t buckets = static_cast<std::size_t>(k_) * k_;
+  std::vector<std::uint32_t> count(buckets + 1, 0);
+  std::vector<std::uint32_t> bucket_of_site(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t bx = bucket_of(sites_[i].x);
+    const std::uint32_t by = bucket_of(sites_[i].y);
+    const std::uint32_t b = bx + by * k_;
+    bucket_of_site[i] = b;
+    ++count[b + 1];
+  }
+  for (std::size_t b = 0; b < buckets; ++b) count[b + 1] += count[b];
+  start_ = count;
+  order_.resize(n);
+  std::vector<std::uint32_t> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    order_[cursor[bucket_of_site[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::uint32_t SpatialGrid::bucket_of(double coord) const noexcept {
+  const double w = wrap01(coord);
+  auto b = static_cast<std::uint32_t>(w * static_cast<double>(k_));
+  return b >= k_ ? k_ - 1 : b;  // guard the w -> 1.0 rounding edge
+}
+
+std::uint32_t SpatialGrid::ring_cover(double radius) const noexcept {
+  const std::uint32_t max_full = (k_ - 1) / 2;
+  if (radius >= 0.5 * kTorusDiameter * 2.0) return max_full;
+  // Need rings whose inner edge is within `radius`: ring r covers Chebyshev
+  // distances >= (r-1)*cell from anywhere inside the center bucket.
+  const double rings = std::ceil(radius / cell_) + 1.0;
+  if (rings >= static_cast<double>(max_full)) return max_full;
+  return static_cast<std::uint32_t>(rings);
+}
+
+double SpatialGrid::ring_min_dist(Vec2 /*q*/,
+                                  std::uint32_t ring) const noexcept {
+  // Conservative lower bound on the torus distance from any point of the
+  // center bucket to any point of a ring-`ring` bucket: (ring-1) bucket
+  // widths (Euclidean >= Chebyshev).
+  if (ring <= 1) return 0.0;
+  return static_cast<double>(ring - 1) * cell_;
+}
+
+std::uint32_t SpatialGrid::nearest(Vec2 q) const noexcept {
+  assert(!sites_.empty());
+  std::uint32_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const std::uint32_t max_ring = (k_ - 1) / 2;
+  for (std::uint32_t ring = 0; ring <= max_ring; ++ring) {
+    const double lower = ring_min_dist(q, ring);
+    if (lower * lower > best_d2) break;
+    visit_ring(q, ring, [&](std::uint32_t idx) {
+      const double d2 = torus_dist2(sites_[idx], q);
+      if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+        best_d2 = d2;
+        best = idx;
+      }
+    });
+  }
+  return best;
+}
+
+double SpatialGrid::nearest_dist2(Vec2 q) const noexcept {
+  return torus_dist2(sites_[nearest(q)], q);
+}
+
+std::vector<SpatialGrid::Neighbor> SpatialGrid::neighbors_within(
+    Vec2 q, double radius, std::uint32_t skip) const {
+  std::vector<Neighbor> out;
+  for_each_within(
+      q, radius,
+      [&](std::uint32_t idx, double d2) { out.push_back({idx, d2}); }, skip);
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.dist2 < b.dist2 || (a.dist2 == b.dist2 && a.index < b.index);
+  });
+  return out;
+}
+
+std::uint32_t brute_force_nearest(std::span<const Vec2> sites,
+                                  Vec2 q) noexcept {
+  assert(!sites.empty());
+  std::uint32_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < sites.size(); ++i) {
+    const double d2 = torus_dist2(sites[i], q);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace geochoice::geometry

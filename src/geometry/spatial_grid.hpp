@@ -1,0 +1,133 @@
+// spatial_grid.hpp — uniform bucket grid over the unit torus.
+//
+// The torus experiments need two query kinds:
+//   * nearest(q)      — index of the site closest to q in torus metric
+//                       (the Voronoi owner lookup; the hot path of the
+//                       2-D d-choice process), and
+//   * for_each_within — enumerate sites within a given torus radius (used by
+//                       the Voronoi cell construction and the Lemma 8 sector
+//                       predicate).
+//
+// With n uniformly random sites and ~1 site per bucket, nearest() is O(1)
+// expected: scan the query's bucket ring by ring, pruning once the ring's
+// minimum possible distance exceeds the best distance found.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace geochoice::geometry {
+
+class SpatialGrid {
+ public:
+  /// Build a grid over `sites` (coordinates in [0,1)). `buckets_per_axis`
+  /// defaults to ~sqrt(n) so the expected occupancy is one site per bucket.
+  explicit SpatialGrid(std::span<const Vec2> sites,
+                       std::uint32_t buckets_per_axis = 0);
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] std::span<const Vec2> sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] std::uint32_t buckets_per_axis() const noexcept {
+    return k_;
+  }
+
+  /// Index of the nearest site to `q` (torus metric). Requires >= 1 site.
+  [[nodiscard]] std::uint32_t nearest(Vec2 q) const noexcept;
+
+  /// Distance-squared to the nearest site.
+  [[nodiscard]] double nearest_dist2(Vec2 q) const noexcept;
+
+  /// Invoke `fn(site_index, dist2)` for every site within torus distance
+  /// `radius` of `q` (inclusive). Visits each site exactly once; order is
+  /// unspecified. `skip` (if not UINT32_MAX) is excluded — callers pass the
+  /// center site itself.
+  template <typename Fn>
+  void for_each_within(Vec2 q, double radius, Fn&& fn,
+                       std::uint32_t skip = kNoSkip) const {
+    const double r2 = radius * radius;
+    // Enough rings to cover `radius` plus one safety ring for bucket
+    // granularity; never more than covers the whole torus.
+    const std::uint32_t max_ring = ring_cover(radius);
+    for (std::uint32_t ring = 0; ring <= max_ring; ++ring) {
+      visit_ring(q, ring, [&](std::uint32_t idx) {
+        if (idx == skip) return;
+        const double d2 = torus_dist2(sites_[idx], q);
+        if (d2 <= r2) fn(idx, d2);
+      });
+    }
+  }
+
+  /// Collect (index, dist2) of all sites within `radius`, sorted by
+  /// distance. Convenience wrapper used by the Voronoi builder.
+  struct Neighbor {
+    std::uint32_t index;
+    double dist2;
+  };
+  [[nodiscard]] std::vector<Neighbor> neighbors_within(
+      Vec2 q, double radius, std::uint32_t skip = kNoSkip) const;
+
+  static constexpr std::uint32_t kNoSkip = 0xffffffffu;
+
+ private:
+  [[nodiscard]] std::uint32_t bucket_of(double coord) const noexcept;
+  [[nodiscard]] std::uint32_t ring_cover(double radius) const noexcept;
+
+  /// Visit every site stored in the Chebyshev ring at distance `ring`
+  /// buckets around q's bucket (ring 0 = the bucket itself).
+  template <typename Fn>
+  void visit_ring(Vec2 q, std::uint32_t ring, Fn&& fn) const {
+    const std::int64_t k = k_;
+    const std::int64_t bx = bucket_of(q.x);
+    const std::int64_t by = bucket_of(q.y);
+    auto visit_bucket = [&](std::int64_t cx, std::int64_t cy) {
+      const std::size_t b = static_cast<std::size_t>(((cx % k + k) % k) +
+                                                     ((cy % k + k) % k) * k);
+      for (std::uint32_t i = start_[b]; i < start_[b + 1]; ++i) {
+        fn(order_[i]);
+      }
+    };
+    const std::int64_t r = ring;
+    if (r == 0) {
+      visit_bucket(bx, by);
+      return;
+    }
+    // When the ring wraps past half the grid it would revisit buckets;
+    // callers never request such rings (ring_cover clamps), but guard anyway.
+    if (2 * r >= k) {
+      return;
+    }
+    for (std::int64_t dx = -r; dx <= r; ++dx) {
+      visit_bucket(bx + dx, by - r);
+      visit_bucket(bx + dx, by + r);
+    }
+    for (std::int64_t dy = -r + 1; dy <= r - 1; ++dy) {
+      visit_bucket(bx - r, by + dy);
+      visit_bucket(bx + r, by + dy);
+    }
+  }
+
+  /// Minimum torus distance from q to any point of the ring-`ring` buckets
+  /// (0 when ring <= 1 since q's own ring-0 bucket touches ring 1).
+  [[nodiscard]] double ring_min_dist(Vec2 q, std::uint32_t ring) const noexcept;
+
+  std::vector<Vec2> sites_;
+  std::uint32_t k_ = 1;             // buckets per axis
+  double cell_ = 1.0;               // bucket width = 1/k
+  std::vector<std::uint32_t> start_;  // CSR offsets, size k*k+1
+  std::vector<std::uint32_t> order_;  // site indices grouped by bucket
+
+  friend class SpatialGridTestPeer;
+};
+
+/// O(n) reference nearest-neighbor for testing the grid.
+[[nodiscard]] std::uint32_t brute_force_nearest(std::span<const Vec2> sites,
+                                                Vec2 q) noexcept;
+
+}  // namespace geochoice::geometry

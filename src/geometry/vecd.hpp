@@ -1,0 +1,59 @@
+// vecd.hpp — D-dimensional points and the flat-torus metric on [0,1)^D.
+//
+// Section 3's closing remark: "the ideas of Lemmas 8 and 9 can be
+// generalized to obtain similar bounds for higher constant dimension."
+// This header provides the D-dimensional substrate for that
+// generalization: points, wrapped displacement, and torus distance, used
+// by SpatialGridND and TorusNdSpace.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "geometry/point.hpp"  // scalar wrap01 / torus_delta
+
+namespace geochoice::geometry {
+
+template <int D>
+struct VecD {
+  static_assert(D >= 1, "dimension must be positive");
+  std::array<double, D> v{};
+
+  double& operator[](std::size_t i) noexcept { return v[i]; }
+  double operator[](std::size_t i) const noexcept { return v[i]; }
+
+  friend constexpr bool operator==(const VecD&, const VecD&) = default;
+};
+
+/// Wrap every coordinate into [0, 1).
+template <int D>
+[[nodiscard]] VecD<D> wrap01(VecD<D> p) noexcept {
+  for (int i = 0; i < D; ++i) p.v[i] = wrap01(p.v[i]);
+  return p;
+}
+
+/// Squared flat-torus distance on [0,1)^D.
+template <int D>
+[[nodiscard]] double torus_dist2(const VecD<D>& a, const VecD<D>& b) noexcept {
+  double acc = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double d = torus_delta(a.v[i], b.v[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+template <int D>
+[[nodiscard]] double torus_dist(const VecD<D>& a, const VecD<D>& b) noexcept {
+  return std::sqrt(torus_dist2(a, b));
+}
+
+/// Squared diameter of the unit D-torus: D/4, attained at the center of
+/// the fundamental cube (the diameter itself is sqrt(D)/2).
+template <int D>
+[[nodiscard]] constexpr double torus_diameter2() noexcept {
+  return static_cast<double>(D) * 0.25;
+}
+
+}  // namespace geochoice::geometry

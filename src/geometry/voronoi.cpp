@@ -1,0 +1,77 @@
+#include "geometry/voronoi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geochoice::geometry {
+
+ConvexPolygon voronoi_cell(const SpatialGrid& grid,
+                           std::uint32_t site_index) {
+  const std::span<const Vec2> sites = grid.sites();
+  const std::size_t n = sites.size();
+  ConvexPolygon poly = ConvexPolygon::centered_square(0.5);
+  if (n <= 1) return poly;
+
+  const Vec2 s = sites[site_index];
+  double radius_of_interest = poly.max_vertex_radius();  // sqrt(1/2)
+
+  // Start with a search radius that expects ~20 candidate neighbors and
+  // double until the security criterion closes the cell.
+  double r_search =
+      std::max(4.0 / std::sqrt(static_cast<double>(n)), 1e-3);
+  const double r_max = 1.5;  // beyond this every image of every site is seen
+
+  while (true) {
+    const auto nbrs = grid.neighbors_within(s, std::min(r_search, r_max),
+                                            site_index);
+    bool closed = false;
+    // Re-clipping on a wider pass is idempotent, so each pass simply
+    // processes the full (larger) neighbor list.
+    for (const auto& nb : nbrs) {
+      const double d = std::sqrt(nb.dist2);
+      if (d > 2.0 * radius_of_interest) {
+        // Sorted order: no remaining collected neighbor can cut, and any
+        // uncollected neighbor is farther than r_search >= d > 2R.
+        closed = true;
+        break;
+      }
+      const Vec2 base = torus_delta(sites[nb.index], s);  // nearest image
+      for (int ox = -1; ox <= 1; ++ox) {
+        for (int oy = -1; oy <= 1; ++oy) {
+          const Vec2 v = {base.x + static_cast<double>(ox),
+                          base.y + static_cast<double>(oy)};
+          const double len2 = norm2(v);
+          const double reach = 2.0 * radius_of_interest;
+          if (len2 > reach * reach) continue;
+          poly.clip_bisector(v);
+          radius_of_interest = poly.max_vertex_radius();
+        }
+      }
+    }
+    if (closed || 2.0 * radius_of_interest <= r_search || r_search >= r_max) {
+      break;
+    }
+    r_search *= 2.0;
+  }
+  return poly;
+}
+
+std::vector<double> voronoi_areas(const SpatialGrid& grid) {
+  const std::size_t n = grid.site_count();
+  std::vector<double> areas(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    areas[i] = voronoi_cell(grid, i).area();
+  }
+  return areas;
+}
+
+std::size_t count_cells_at_least(std::span<const double> areas,
+                                 double threshold) noexcept {
+  std::size_t count = 0;
+  for (double a : areas) {
+    if (a >= threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace geochoice::geometry

@@ -1,0 +1,54 @@
+// voronoi.hpp — exact Voronoi cells of random sites on the unit torus.
+//
+// Section 3 of the paper assigns each item to its nearest server on the
+// 2-D torus, i.e. bins are Voronoi cells. The d-choice process itself only
+// needs nearest-neighbor lookups (spatial_grid.hpp); *this* module computes
+// exact cell polygons and areas, which power:
+//
+//   * the Lemma 9 validation experiment (tail of the cell-area
+//     distribution vs the 12 n e^{-c/6} bound),
+//   * region-size tie-breaking on the torus (the 2-D analogue of the
+//     paper's Table 3 "arc-smaller" strategy), and
+//   * the region_measure() part of the GeometricSpace interface.
+//
+// Construction: the cell of site s, expressed in s-local coordinates, is
+//
+//   [-1/2, 1/2]^2  ∩  ⋂ { x : |x| <= |x - v| }
+//
+// over all periodic images v of all other sites. The square is the wrap
+// boundary (inside it, torus distance to s is plain Euclidean distance).
+// The intersection is convex, so Sutherland–Hodgman clipping applies. Only
+// images with |v| <= 2R matter, where R is the current maximum vertex
+// radius of the partially clipped cell: any point x of the cell has
+// |x| <= R, so |x - v| >= |v| - R > R >= |x| and the bisector cannot cut.
+// Neighbors are enumerated in increasing torus distance through the spatial
+// grid, with a doubling search radius, so a typical cell is closed after
+// clipping a handful of nearby sites.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/spatial_grid.hpp"
+
+namespace geochoice::geometry {
+
+/// Compute the exact Voronoi cell of `site_index` in site-local
+/// coordinates (the site at the origin). Exact for any n >= 1, including
+/// wrap-around cells of tiny configurations.
+[[nodiscard]] ConvexPolygon voronoi_cell(const SpatialGrid& grid,
+                                         std::uint32_t site_index);
+
+/// All cell areas. Areas are positive and sum to 1 (up to floating error);
+/// tests assert |sum - 1| < 1e-9 up to n = 2^14.
+[[nodiscard]] std::vector<double> voronoi_areas(const SpatialGrid& grid);
+
+/// Number of cells with area >= threshold, the Lemma 9 statistic with
+/// threshold = c/n.
+[[nodiscard]] std::size_t count_cells_at_least(std::span<const double> areas,
+                                               double threshold) noexcept;
+
+}  // namespace geochoice::geometry

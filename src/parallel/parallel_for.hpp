@@ -1,0 +1,40 @@
+// parallel_for.hpp — blocked parallel index loops over a ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace geochoice::parallel {
+
+/// Invoke `fn(i)` for every i in [begin, end), partitioned into contiguous
+/// blocks across the pool. Blocks are sized for ~4 blocks per worker to
+/// amortize queue overhead while keeping the tail balanced. `fn` must be
+/// safe to call concurrently for distinct i.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  const std::size_t blocks = std::max<std::size_t>(1, workers * 4);
+  const std::size_t block = std::max<std::size_t>(1, (n + blocks - 1) / blocks);
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = std::min(end, lo + block);
+    pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.wait();
+}
+
+/// Single-use convenience overload that creates a transient pool.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t threads = 0) {
+  ThreadPool pool(threads);
+  parallel_for(pool, begin, end, std::forward<Fn>(fn));
+}
+
+}  // namespace geochoice::parallel

@@ -1,0 +1,77 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace geochoice::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ set and no work left
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mutex_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace geochoice::parallel

@@ -1,0 +1,58 @@
+// thread_pool.hpp — a small fixed-size work-queue thread pool.
+//
+// geochoice's Monte-Carlo experiments are embarrassingly parallel across
+// trials; the pool provides the execution substrate while streams.hpp
+// guarantees that results do not depend on scheduling. The design follows
+// the C++ Core Guidelines concurrency rules: RAII thread ownership (joined
+// in the destructor), no detached threads, condition-variable wakeups, and
+// exception propagation from tasks to the waiting caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geochoice::parallel {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (0 = hardware_concurrency,
+  /// minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue a task. Tasks must not themselves call wait() on this pool.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed. If any task threw, the
+  /// first captured exception is rethrown here (remaining tasks still ran).
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace geochoice::parallel

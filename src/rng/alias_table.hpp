@@ -1,0 +1,113 @@
+// alias_table.hpp — Walker/Vose alias method for O(1) sampling from a fixed
+// discrete distribution.
+//
+// Used by spaces::WeightedSpace (the non-uniform-bins stress experiment from
+// the paper's conclusion) and by workload generators that need skewed key
+// popularity. Construction is O(n); each sample costs one uniform draw for
+// the column plus one for the coin.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+namespace geochoice::rng {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from non-negative weights (need not be normalized). Throws
+  /// std::invalid_argument if the weights are empty or sum to zero.
+  explicit AliasTable(std::span<const double> weights) {
+    const std::size_t n = weights.size();
+    if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+      total += w;
+    }
+    if (total <= 0.0)
+      throw std::invalid_argument("AliasTable: weights sum to zero");
+
+    prob_.resize(n);
+    alias_.resize(n);
+    // Scaled probabilities: mean 1.
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    // Vose's stable two-worklist construction.
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      small.pop_back();
+      const std::uint32_t l = large.back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Numerical leftovers: both lists should hold probability ~1 columns.
+    for (std::uint32_t i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (std::uint32_t i : small) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// Draw an index distributed according to the construction weights.
+  template <Engine64 G>
+  [[nodiscard]] std::uint32_t sample(G& gen) const noexcept {
+    assert(!empty());
+    const std::uint32_t col = static_cast<std::uint32_t>(
+        uniform_below(gen, static_cast<std::uint64_t>(prob_.size())));
+    return uniform01(gen) < prob_[col] ? col : alias_[col];
+  }
+
+  /// Exact sampling probability of index i (for testing): the column share
+  /// plus all alias contributions.
+  [[nodiscard]] double probability_of(std::size_t i) const {
+    const double n = static_cast<double>(prob_.size());
+    double p = prob_[i] / n;
+    for (std::size_t c = 0; c < prob_.size(); ++c) {
+      if (alias_[c] == i && c != i) p += (1.0 - prob_[c]) / n;
+    }
+    return p;
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Zipf weights: w_i = 1 / (i+1)^alpha for i in [0, n). alpha = 0 is
+/// uniform; larger alpha is more skewed. Used by the non-uniformity stress
+/// experiment (DESIGN.md E10).
+[[nodiscard]] inline std::vector<double> zipf_weights(std::size_t n,
+                                                      double alpha) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return w;
+}
+
+}  // namespace geochoice::rng

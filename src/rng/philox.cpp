@@ -1,0 +1,47 @@
+#include "rng/philox.hpp"
+
+namespace geochoice::rng {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void round_once(std::array<std::uint32_t, 4>& x, std::uint32_t k0,
+                       std::uint32_t k1) noexcept {
+  const std::uint64_t p0 = static_cast<std::uint64_t>(kPhiloxM0) * x[0];
+  const std::uint64_t p1 = static_cast<std::uint64_t>(kPhiloxM1) * x[2];
+  const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+  const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+  const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+  const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+  x = {hi1 ^ x[1] ^ k0, lo1, hi0 ^ x[3] ^ k1, lo0};
+}
+
+}  // namespace
+
+PhiloxBlock philox4x32(std::uint64_t key, std::uint64_t ctr_lo,
+                       std::uint64_t ctr_hi) noexcept {
+  std::array<std::uint32_t, 4> x = {
+      static_cast<std::uint32_t>(ctr_lo),
+      static_cast<std::uint32_t>(ctr_lo >> 32),
+      static_cast<std::uint32_t>(ctr_hi),
+      static_cast<std::uint32_t>(ctr_hi >> 32),
+  };
+  std::uint32_t k0 = static_cast<std::uint32_t>(key);
+  std::uint32_t k1 = static_cast<std::uint32_t>(key >> 32);
+  for (int r = 0; r < 10; ++r) {
+    round_once(x, k0, k1);
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+  return PhiloxBlock{x};
+}
+
+std::uint64_t philox_hash(std::uint64_t key, std::uint64_t counter) noexcept {
+  return philox4x32(key, counter).lo64();
+}
+
+}  // namespace geochoice::rng

@@ -1,0 +1,92 @@
+// philox.hpp — Philox4x32-10 counter-based random number generator
+// (Salmon, Moraes, Dror, Shaw: "Parallel random numbers: as easy as 1, 2, 3",
+// SC 2011).
+//
+// A counter-based RNG maps (key, counter) -> 128 random bits through a
+// keyed bijection, with no sequential state. geochoice uses it to derive
+// *order-independent* per-trial seeds: trial t of an experiment with master
+// seed S is seeded from philox(S, t), so results are bit-identical no matter
+// how trials are scheduled across threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace geochoice::rng {
+
+/// One 128-bit Philox output block.
+struct PhiloxBlock {
+  std::array<std::uint32_t, 4> w{};
+
+  [[nodiscard]] std::uint64_t lo64() const noexcept {
+    return (static_cast<std::uint64_t>(w[1]) << 32) | w[0];
+  }
+  [[nodiscard]] std::uint64_t hi64() const noexcept {
+    return (static_cast<std::uint64_t>(w[3]) << 32) | w[2];
+  }
+};
+
+/// Apply the Philox4x32-10 bijection to a 128-bit counter under a 64-bit
+/// key. Pure function; defined in philox.cpp.
+[[nodiscard]] PhiloxBlock philox4x32(std::uint64_t key, std::uint64_t ctr_lo,
+                                     std::uint64_t ctr_hi = 0) noexcept;
+
+/// Convenience: a well-mixed 64-bit hash of (key, counter), e.g. for seeding
+/// a sequential engine for trial `counter` of an experiment keyed by `key`.
+[[nodiscard]] std::uint64_t philox_hash(std::uint64_t key,
+                                        std::uint64_t counter) noexcept;
+
+/// Philox4x32-10 as a std::uniform_random_bit_generator: buffers one block
+/// (four 32-bit words) and increments the counter when exhausted. Supports
+/// O(1) `discard` by counter arithmetic.
+class Philox4x32 {
+ public:
+  using result_type = std::uint64_t;
+
+  Philox4x32() noexcept = default;
+  explicit Philox4x32(std::uint64_t key) noexcept : key_(key) {}
+  Philox4x32(std::uint64_t key, std::uint64_t start_counter) noexcept
+      : key_(key), counter_(start_counter) {}
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    if (index_ == 0) {
+      block_ = philox4x32(key_, counter_++);
+    }
+    const std::uint64_t out = (index_ == 0) ? block_.lo64() : block_.hi64();
+    index_ = (index_ + 1) % 2;
+    return out;
+  }
+
+  /// Skip `n` 64-bit outputs in O(1). Position bookkeeping: with `index_==0`
+  /// the stream position is `2*counter_`; with `index_==1` it is
+  /// `2*counter_ - 1` (one output of the current block consumed).
+  void discard(std::uint64_t n) noexcept {
+    const std::uint64_t pos = 2 * counter_ - (index_ ? 1 : 0);
+    const std::uint64_t new_pos = pos + n;
+    if (new_pos % 2 == 0) {
+      counter_ = new_pos / 2;
+      index_ = 0;
+    } else {
+      counter_ = new_pos / 2 + 1;
+      index_ = 1;
+      block_ = philox4x32(key_, counter_ - 1);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+  [[nodiscard]] std::uint64_t counter() const noexcept { return counter_; }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
+  PhiloxBlock block_{};
+  unsigned index_ = 0;
+};
+
+}  // namespace geochoice::rng

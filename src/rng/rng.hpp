@@ -1,0 +1,16 @@
+// rng.hpp — umbrella header for the geochoice RNG substrate.
+//
+//   * splitmix64.hpp    — seeding expander + mix64 / combine hashing
+//   * xoshiro256.hpp    — xoshiro256** / xoshiro256++ engines (DefaultEngine)
+//   * philox.hpp        — Philox4x32-10 counter-based generator
+//   * distributions.hpp — reproducible uniform / exp / poisson / normal
+//   * alias_table.hpp   — O(1) discrete sampling (Walker/Vose)
+//   * streams.hpp       — deterministic per-trial / per-purpose substreams
+#pragma once
+
+#include "rng/alias_table.hpp"      // IWYU pragma: export
+#include "rng/distributions.hpp"    // IWYU pragma: export
+#include "rng/philox.hpp"           // IWYU pragma: export
+#include "rng/splitmix64.hpp"       // IWYU pragma: export
+#include "rng/streams.hpp"          // IWYU pragma: export
+#include "rng/xoshiro256.hpp"       // IWYU pragma: export

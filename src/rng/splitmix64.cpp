@@ -1,0 +1,12 @@
+#include "rng/splitmix64.hpp"
+
+namespace geochoice::rng {
+
+void expand_seed(std::uint64_t seed, std::uint64_t* out, std::size_t count) {
+  SplitMix64 sm(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = sm();
+  }
+}
+
+}  // namespace geochoice::rng

@@ -1,0 +1,76 @@
+// splitmix64.hpp — SplitMix64 generator and mixing function.
+//
+// SplitMix64 (Steele, Lea, Flood: "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) is used throughout geochoice for two purposes:
+//
+//   1. As a seeding expander: a single 64-bit master seed is stretched into
+//      the 256-bit state of the xoshiro engines, as recommended by the
+//      xoshiro authors.
+//   2. As a cheap statistically-solid mixer (`mix64`) for hashing small
+//      integers (trial indices, stream ids) into seeds.
+//
+// It is NOT used as the main simulation engine (period 2^64 is too small for
+// billion-ball experiments); see xoshiro256.hpp and philox.hpp for those.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace geochoice::rng {
+
+/// Stateless finalizer at the heart of SplitMix64. Bijective on 64-bit
+/// integers; passes PractRand / BigCrush as a counter-mode generator.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine two 64-bit values into one well-mixed seed. Used to derive
+/// per-trial seeds as `combine(master_seed, trial_index)` so that trials are
+/// reproducible and independent of execution order.
+[[nodiscard]] constexpr std::uint64_t combine(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  // Boost-style hash_combine on 64 bits, finished with a full mix.
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// SplitMix64 engine. Satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr SplitMix64() noexcept = default;
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr void seed(std::uint64_t s) noexcept { state_ = s; }
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept {
+    return state_;
+  }
+
+  friend constexpr bool operator==(const SplitMix64&,
+                                   const SplitMix64&) = default;
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
+/// Fills `out[0..count)` with the SplitMix64 stream seeded by `seed`.
+/// Defined in splitmix64.cpp.
+void expand_seed(std::uint64_t seed, std::uint64_t* out, std::size_t count);
+
+}  // namespace geochoice::rng

@@ -1,0 +1,52 @@
+#include "rng/xoshiro256.hpp"
+
+namespace geochoice::rng {
+
+namespace {
+
+// Polynomial jump implementation shared by jump() and long_jump(): XOR
+// together the states reached at the positions where the jump polynomial has
+// a set bit, stepping the generator once per bit.
+template <std::size_t N>
+void apply_jump(std::array<std::uint64_t, 4>& state,
+                const std::array<std::uint64_t, N>& poly) noexcept {
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  auto step = [&state]() noexcept {
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = detail::rotl64(state[3], 45);
+  };
+  for (std::uint64_t word : poly) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= state[i];
+      }
+      step();
+    }
+  }
+  state = acc;
+}
+
+}  // namespace
+
+void Xoshiro256Base::jump() noexcept {
+  // Jump polynomial for 2^128 steps (from the reference implementation).
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  apply_jump(state_, kJump);
+}
+
+void Xoshiro256Base::long_jump() noexcept {
+  // Jump polynomial for 2^192 steps (from the reference implementation).
+  static constexpr std::array<std::uint64_t, 4> kLongJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  apply_jump(state_, kLongJump);
+}
+
+}  // namespace geochoice::rng

@@ -1,0 +1,113 @@
+#include "sim/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace geochoice::sim {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      throw std::invalid_argument("unexpected positional argument: " +
+                                  std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // "--flag value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") ==
+                            false) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "";  // boolean flag
+    }
+  }
+  for (const auto& [k, v] : values_) used_[k] = false;
+}
+
+std::optional<std::string> ArgParser::raw(std::string_view flag) const {
+  std::string_view name = flag;
+  if (name.starts_with("--")) name.remove_prefix(2);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  used_[it->first] = true;
+  return it->second;
+}
+
+bool ArgParser::has(std::string_view flag) const {
+  return raw(flag).has_value();
+}
+
+std::uint64_t ArgParser::get_u64(std::string_view flag,
+                                 std::uint64_t fallback) const {
+  const auto v = raw(flag);
+  if (!v || v->empty()) return fallback;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(),
+                                         out);
+  if (ec != std::errc() || ptr != v->data() + v->size()) {
+    throw std::invalid_argument("flag " + std::string(flag) +
+                                ": not an integer: " + *v);
+  }
+  return out;
+}
+
+double ArgParser::get_double(std::string_view flag, double fallback) const {
+  const auto v = raw(flag);
+  if (!v || v->empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing junk");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag " + std::string(flag) +
+                                ": not a number: " + *v);
+  }
+}
+
+std::string ArgParser::get_string(std::string_view flag,
+                                  std::string fallback) const {
+  const auto v = raw(flag);
+  if (!v || v->empty()) return fallback;
+  return *v;
+}
+
+std::vector<std::uint64_t> ArgParser::get_u64_list(
+    std::string_view flag, std::vector<std::uint64_t> fallback) const {
+  const auto v = raw(flag);
+  if (!v || v->empty()) return fallback;
+  std::vector<std::uint64_t> out;
+  std::size_t start = 0;
+  while (start <= v->size()) {
+    std::size_t comma = v->find(',', start);
+    if (comma == std::string::npos) comma = v->size();
+    const std::string_view tok(v->data() + start, comma - start);
+    std::uint64_t x = 0;
+    const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                           x);
+    if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+      throw std::invalid_argument("flag " + std::string(flag) +
+                                  ": bad list element: " + std::string(tok));
+    }
+    out.push_back(x);
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, used] : used_) {
+    if (!used) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace geochoice::sim

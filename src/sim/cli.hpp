@@ -1,0 +1,51 @@
+// cli.hpp — a minimal flag parser for the bench/example binaries.
+//
+// Every table-reproduction binary accepts the same conventions:
+//   --flag=value   or   --flag value   or bare   --flag   (boolean)
+// Unknown flags are an error (catches typos in experiment sweeps).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geochoice::sim {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if the flag was given (with or without a value).
+  [[nodiscard]] bool has(std::string_view flag) const;
+
+  [[nodiscard]] std::uint64_t get_u64(std::string_view flag,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view flag,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view flag,
+                                       std::string fallback) const;
+
+  /// Comma-separated list of u64s, e.g. --n=256,4096,65536.
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_list(
+      std::string_view flag, std::vector<std::uint64_t> fallback) const;
+
+  /// Flags that were parsed but never queried — call at the end of main to
+  /// reject typos. Returns the list of unused flag names.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(std::string_view flag) const;
+
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> used_;
+};
+
+}  // namespace geochoice::sim

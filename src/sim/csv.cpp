@@ -1,0 +1,56 @@
+#include "sim/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace geochoice::sim {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  row(header);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: expected " +
+                                std::to_string(columns_) + " fields, got " +
+                                std::to_string(fields.size()));
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_values(std::initializer_list<double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  row(fields);
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace geochoice::sim

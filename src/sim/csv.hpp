@@ -1,0 +1,37 @@
+// csv.hpp — machine-readable experiment output.
+//
+// Every bench binary optionally mirrors its table to CSV (--csv=PATH) so
+// downstream plotting does not have to parse ASCII tables.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geochoice::sim {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Append one row; the field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed numeric rows.
+  void row_values(std::initializer_list<double> values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace geochoice::sim

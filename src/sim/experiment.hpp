@@ -1,0 +1,50 @@
+// experiment.hpp — configuration and runner for max-load experiments.
+//
+// One ExperimentConfig describes one cell of a paper table: a space kind,
+// n servers, m balls, d choices, a tie-break strategy, and a trial count.
+// run_max_load_experiment() executes the trials in parallel (deterministic
+// in the master seed regardless of thread count) and returns the
+// distribution of the maximum load — exactly what Tables 1–3 report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/process.hpp"
+#include "stats/histogram.hpp"
+
+namespace geochoice::sim {
+
+enum class SpaceKind {
+  kRing,     // arcs on the circle (Table 1, Table 3)
+  kTorus,    // Voronoi cells on the unit torus (Table 2)
+  kUniform,  // classic equiprobable bins (Azar et al. baseline)
+};
+
+[[nodiscard]] std::string_view to_string(SpaceKind k) noexcept;
+[[nodiscard]] SpaceKind space_kind_from_string(std::string_view name);
+
+struct ExperimentConfig {
+  SpaceKind space = SpaceKind::kRing;
+  std::uint64_t num_servers = 1 << 8;  // n
+  std::uint64_t num_balls = 0;         // m; 0 means m = n
+  int num_choices = 2;                 // d
+  core::TieBreak tie = core::TieBreak::kRandom;
+  core::ChoiceScheme scheme = core::ChoiceScheme::kIndependent;
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 0x67656f63686f6963ULL;  // "geochoic"
+  std::size_t threads = 0;                     // 0 = hardware concurrency
+
+  [[nodiscard]] std::uint64_t balls() const noexcept {
+    return num_balls == 0 ? num_servers : num_balls;
+  }
+};
+
+/// Distribution of max load over the configured trials.
+[[nodiscard]] stats::IntHistogram run_max_load_experiment(
+    const ExperimentConfig& cfg);
+
+/// Mean maximum load over trials (convenience for scaling sweeps).
+[[nodiscard]] double mean_max_load(const ExperimentConfig& cfg);
+
+}  // namespace geochoice::sim

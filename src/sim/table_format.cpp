@@ -1,0 +1,76 @@
+#include "sim/table_format.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace geochoice::sim {
+
+std::vector<std::string> distribution_lines(const stats::IntHistogram& hist) {
+  std::vector<std::string> lines;
+  if (hist.empty()) {
+    lines.emplace_back("(no data)");
+    return lines;
+  }
+  for (const auto& [value, count] : hist.items()) {
+    const double pct = 100.0 * static_cast<double>(count) /
+                       static_cast<double>(hist.total());
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%3llu ...... %5.1f%%",
+                  static_cast<unsigned long long>(value), pct);
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
+std::string pow2_label(std::uint64_t n) {
+  if (n != 0 && std::has_single_bit(n)) {
+    return "2^" + std::to_string(std::countr_zero(n));
+  }
+  return std::to_string(n);
+}
+
+std::string render_table(const std::string& title,
+                         const std::vector<std::string>& col_headers,
+                         const std::vector<TableRowBlock>& rows) {
+  constexpr std::size_t kColWidth = 20;
+  constexpr std::size_t kLabelWidth = 8;
+  std::ostringstream out;
+
+  auto pad = [](std::string s, std::size_t w) {
+    if (s.size() < w) s.append(w - s.size(), ' ');
+    return s;
+  };
+
+  out << title << '\n';
+  const std::size_t total_width =
+      kLabelWidth + col_headers.size() * (kColWidth + 2);
+  out << std::string(total_width, '=') << '\n';
+  out << pad("n", kLabelWidth);
+  for (const auto& h : col_headers) out << "| " << pad(h, kColWidth);
+  out << '\n' << std::string(total_width, '-') << '\n';
+
+  for (const TableRowBlock& row : rows) {
+    // Collect each cell's lines; the block height is the tallest cell.
+    std::vector<std::vector<std::string>> cells;
+    std::size_t height = 1;
+    cells.reserve(row.cells.size());
+    for (const TableCell& c : row.cells) {
+      cells.push_back(distribution_lines(c.hist));
+      height = std::max(height, cells.back().size());
+    }
+    for (std::size_t line = 0; line < height; ++line) {
+      out << pad(line == 0 ? row.label : "", kLabelWidth);
+      for (const auto& cell : cells) {
+        out << "| "
+            << pad(line < cell.size() ? cell[line] : "", kColWidth);
+      }
+      out << '\n';
+    }
+    out << std::string(total_width, '-') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace geochoice::sim

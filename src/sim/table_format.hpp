@@ -1,0 +1,42 @@
+// table_format.hpp — render max-load distributions the way the paper does.
+//
+// Tables 1–3 print, per (n, d) cell, rows of the form
+//
+//     4 ...... 70.0%
+//     5 ......  3.2%
+//
+// i.e. the percentage of trials whose maximum load equalled each value.
+// render_table() lays such cells out in a grid with one row block per n and
+// one column per strategy/d, matching the paper's layout closely enough for
+// eyeball comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace geochoice::sim {
+
+/// The "value …… percent%" lines for one distribution cell.
+[[nodiscard]] std::vector<std::string> distribution_lines(
+    const stats::IntHistogram& hist);
+
+struct TableCell {
+  stats::IntHistogram hist;
+};
+
+struct TableRowBlock {
+  std::string label;              // e.g. "2^12"
+  std::vector<TableCell> cells;   // one per column
+};
+
+/// Render a full paper-style table with the given column headers.
+[[nodiscard]] std::string render_table(
+    const std::string& title, const std::vector<std::string>& col_headers,
+    const std::vector<TableRowBlock>& rows);
+
+/// "2^k" pretty-printer for exact powers of two, decimal otherwise.
+[[nodiscard]] std::string pow2_label(std::uint64_t n);
+
+}  // namespace geochoice::sim

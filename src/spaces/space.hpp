@@ -1,0 +1,42 @@
+// space.hpp — the GeometricSpace concept.
+//
+// The paper's unifying abstraction (made explicit in its Section 3 closing
+// remark): the d-choice process works over any space in which
+//
+//   * items hash to uniformly random *locations*,
+//   * every location is owned by exactly one *bin* (server), and
+//   * each bin has a *measure* — the probability mass of locations it owns —
+//     whose distribution has an exponential upper tail.
+//
+// Everything in geochoice::core is templated over this concept, so the
+// ring (arcs), the torus (Voronoi cells), the classic uniform setting, and
+// user-defined spaces (examples/custom_space.cpp) all share one process
+// implementation.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "rng/xoshiro256.hpp"
+
+namespace geochoice::spaces {
+
+/// Index type for bins/servers throughout the library.
+using BinIndex = std::uint32_t;
+
+template <typename S>
+concept GeometricSpace = requires(const S& s, rng::DefaultEngine& gen,
+                                  const typename S::Location& loc,
+                                  BinIndex bin) {
+  typename S::Location;
+  /// Number of bins (servers).
+  { s.bin_count() } -> std::convertible_to<std::size_t>;
+  /// Hash an item to a uniformly random location.
+  { s.sample(gen) } -> std::same_as<typename S::Location>;
+  /// The bin owning a location.
+  { s.owner(loc) } -> std::convertible_to<BinIndex>;
+  /// Probability that a uniform location lands in `bin` (region size).
+  { s.region_measure(bin) } -> std::convertible_to<double>;
+};
+
+}  // namespace geochoice::spaces

@@ -1,0 +1,9 @@
+// spaces.hpp — umbrella header for the geochoice spaces layer.
+#pragma once
+
+#include "spaces/ring_space.hpp"      // IWYU pragma: export
+#include "spaces/space.hpp"           // IWYU pragma: export
+#include "spaces/torus_nd_space.hpp"  // IWYU pragma: export
+#include "spaces/torus_space.hpp"     // IWYU pragma: export
+#include "spaces/uniform_space.hpp"   // IWYU pragma: export
+#include "spaces/weighted_space.hpp"  // IWYU pragma: export

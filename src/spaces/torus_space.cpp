@@ -1,0 +1,51 @@
+#include "spaces/torus_space.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace geochoice::spaces {
+
+namespace {
+
+std::vector<geometry::Vec2> wrapped(std::vector<geometry::Vec2> sites) {
+  if (sites.empty()) {
+    throw std::invalid_argument("TorusSpace: need at least one server");
+  }
+  for (auto& s : sites) s = geometry::wrap01(s);
+  return sites;
+}
+
+}  // namespace
+
+TorusSpace::TorusSpace(std::vector<geometry::Vec2> sites)
+    : grid_(wrapped(std::move(sites))) {}
+
+TorusSpace TorusSpace::random(std::size_t n, rng::DefaultEngine& gen) {
+  std::vector<geometry::Vec2> sites(n);
+  for (auto& s : sites) {
+    s = {rng::uniform01(gen), rng::uniform01(gen)};
+  }
+  return TorusSpace(std::move(sites));
+}
+
+double TorusSpace::region_measure(BinIndex i) const noexcept {
+  assert(areas_.has_value() &&
+         "TorusSpace::ensure_measures() must be called before reading "
+         "region measures");
+  return (*areas_)[i];
+}
+
+void TorusSpace::ensure_measures() {
+  if (!areas_) {
+    areas_ = geometry::voronoi_areas(grid_);
+  }
+}
+
+std::span<const double> TorusSpace::areas() const {
+  if (!areas_) {
+    throw std::logic_error("TorusSpace::areas(): measures not computed");
+  }
+  return *areas_;
+}
+
+}  // namespace geochoice::spaces

@@ -1,0 +1,11 @@
+// uniform_space.cpp — UniformSpace is header-only; this translation unit
+// exists to give the target a compiled object and to anchor the
+// static_assert in a single place.
+#include "spaces/uniform_space.hpp"
+
+namespace geochoice::spaces {
+
+static_assert(GeometricSpace<UniformSpace>,
+              "UniformSpace must model GeometricSpace");
+
+}  // namespace geochoice::spaces

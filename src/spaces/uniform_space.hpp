@@ -1,0 +1,39 @@
+// uniform_space.hpp — the classic Azar–Broder–Karlin–Upfal setting:
+// n equiprobable bins. The baseline every geometric result is compared
+// against, and the space for which the fluid-limit ODE (core/theory.hpp)
+// is an exact asymptotic oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/distributions.hpp"
+#include "spaces/space.hpp"
+
+namespace geochoice::spaces {
+
+class UniformSpace {
+ public:
+  /// A location *is* a bin index: the geometric structure is trivial.
+  using Location = BinIndex;
+
+  explicit UniformSpace(std::size_t n) : n_(n) {}
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return n_; }
+
+  [[nodiscard]] Location sample(rng::DefaultEngine& gen) const noexcept {
+    return static_cast<BinIndex>(rng::uniform_below(gen, n_));
+  }
+
+  [[nodiscard]] BinIndex owner(Location loc) const noexcept { return loc; }
+
+  [[nodiscard]] double region_measure(BinIndex) const noexcept {
+    return 1.0 / static_cast<double>(n_);
+  }
+
+ private:
+  std::uint64_t n_;
+};
+
+static_assert(GeometricSpace<UniformSpace>);
+
+}  // namespace geochoice::spaces

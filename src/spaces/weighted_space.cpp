@@ -1,0 +1,19 @@
+#include "spaces/weighted_space.hpp"
+
+#include <numeric>
+
+namespace geochoice::spaces {
+
+WeightedSpace::WeightedSpace(std::span<const double> weights)
+    : table_(weights), measures_(weights.begin(), weights.end()) {
+  const double total =
+      std::accumulate(measures_.begin(), measures_.end(), 0.0);
+  for (double& m : measures_) m /= total;
+}
+
+WeightedSpace WeightedSpace::zipf(std::size_t n, double alpha) {
+  const std::vector<double> w = rng::zipf_weights(n, alpha);
+  return WeightedSpace(w);
+}
+
+}  // namespace geochoice::spaces

@@ -1,0 +1,55 @@
+// weighted_space.hpp — bins selected with arbitrary fixed probabilities.
+//
+// The paper's conclusion asks "how much non-uniformity among bins can the
+// two-choice paradigm stand?". WeightedSpace lets experiments answer
+// empirically: bin i is selected with probability w_i / sum(w), sampled in
+// O(1) through an alias table. Zipf weights reproduce the heavy-tail stress
+// test (DESIGN.md E10); the ring and torus themselves could be emulated by
+// feeding in measured arc lengths / cell areas, which the property tests
+// exploit as a cross-check.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "spaces/space.hpp"
+
+namespace geochoice::spaces {
+
+class WeightedSpace {
+ public:
+  using Location = BinIndex;
+
+  /// Build from non-negative weights (normalized internally).
+  explicit WeightedSpace(std::span<const double> weights);
+
+  /// Zipf-distributed bin probabilities: w_i ∝ 1/(i+1)^alpha.
+  static WeightedSpace zipf(std::size_t n, double alpha);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return measures_.size();
+  }
+
+  [[nodiscard]] Location sample(rng::DefaultEngine& gen) const noexcept {
+    return table_.sample(gen);
+  }
+
+  [[nodiscard]] BinIndex owner(Location loc) const noexcept { return loc; }
+
+  [[nodiscard]] double region_measure(BinIndex i) const noexcept {
+    return measures_[i];
+  }
+
+  [[nodiscard]] std::span<const double> measures() const noexcept {
+    return measures_;
+  }
+
+ private:
+  rng::AliasTable table_;
+  std::vector<double> measures_;  // normalized weights
+};
+
+static_assert(GeometricSpace<WeightedSpace>);
+
+}  // namespace geochoice::spaces

@@ -1,0 +1,38 @@
+// confidence.hpp — interval estimates used when comparing measured table
+// rows against the paper's percentages (EXPERIMENTS.md) and in integration
+// tests that must tolerate Monte-Carlo noise honestly.
+#pragma once
+
+#include <cstdint>
+
+namespace geochoice::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+};
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials` at confidence z (1.96 = 95%, 2.576 = 99%, 3.29 = 99.9%).
+/// Well-behaved at p near 0/1, unlike the normal approximation.
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes,
+                                       std::uint64_t trials,
+                                       double z = 1.96) noexcept;
+
+/// Two-sided binomial test helper: is the observed proportion consistent
+/// with `p_expected` at the given z? (True = consistent.)
+[[nodiscard]] bool proportion_consistent(std::uint64_t successes,
+                                         std::uint64_t trials,
+                                         double p_expected,
+                                         double z = 3.29) noexcept;
+
+/// Normal-theory confidence interval for a mean given sample stats.
+[[nodiscard]] Interval mean_interval(double mean, double stddev,
+                                     std::uint64_t n,
+                                     double z = 1.96) noexcept;
+
+}  // namespace geochoice::stats

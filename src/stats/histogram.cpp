@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <cassert>
+
+namespace geochoice::stats {
+
+void IntHistogram::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  counts_[value] += count;
+  total_ += count;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  for (const auto& [v, c] : other.counts_) {
+    counts_[v] += c;
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t IntHistogram::count(std::uint64_t value) const noexcept {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double IntHistogram::fraction(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::uint64_t IntHistogram::min_value() const noexcept {
+  assert(!counts_.empty());
+  return counts_.begin()->first;
+}
+
+std::uint64_t IntHistogram::max_value() const noexcept {
+  assert(!counts_.empty());
+  return counts_.rbegin()->first;
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [v, c] : counts_) {
+    acc += static_cast<double>(v) * static_cast<double>(c);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::uint64_t IntHistogram::quantile(double q) const noexcept {
+  assert(!counts_.empty());
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (const auto& [v, c] : counts_) {
+    seen += c;
+    if (static_cast<double>(seen) >= target) return v;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> IntHistogram::items()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+IntHistogram histogram_of(const std::vector<std::uint64_t>& v) {
+  IntHistogram h;
+  for (std::uint64_t x : v) h.add(x);
+  return h;
+}
+
+}  // namespace geochoice::stats

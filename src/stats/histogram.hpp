@@ -1,0 +1,56 @@
+// histogram.hpp — integer-valued frequency tables.
+//
+// The paper's tables report the *distribution of the maximum load over
+// trials* as "value …… percent%" rows. IntHistogram is that object: counts
+// indexed by a non-negative integer outcome, with percentage views and
+// merge support (so parallel trial shards can be reduced).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace geochoice::stats {
+
+class IntHistogram {
+ public:
+  IntHistogram() = default;
+
+  /// Record one observation of `value`.
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Merge another histogram into this one (parallel reduction).
+  void merge(const IntHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Count of observations equal to `value`.
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept;
+
+  /// Fraction of observations equal to `value`, in [0, 1].
+  [[nodiscard]] double fraction(std::uint64_t value) const noexcept;
+
+  [[nodiscard]] std::uint64_t min_value() const noexcept;
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Smallest v such that at least `q` fraction of mass is <= v.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  /// (value, count) pairs in increasing value order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> items()
+      const;
+
+  friend bool operator==(const IntHistogram&, const IntHistogram&) = default;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Build a histogram of the values in `v` (e.g. max loads across trials).
+[[nodiscard]] IntHistogram histogram_of(const std::vector<std::uint64_t>& v);
+
+}  // namespace geochoice::stats

@@ -1,0 +1,76 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace geochoice::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  assert(!sorted.empty());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> data) {
+  Summary s;
+  s.count = data.size();
+  if (data.empty()) return s;
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double x : sorted) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = quantile_sorted(sorted, 0.50);
+  s.p90 = quantile_sorted(sorted, 0.90);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+}  // namespace geochoice::stats

@@ -1,0 +1,53 @@
+// summary.hpp — streaming and batch summary statistics for real-valued
+// observations (arc lengths, cell areas, load imbalance ratios).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace geochoice::stats {
+
+/// Welford's online mean/variance accumulator. Numerically stable;
+/// mergeable for parallel reductions (Chan et al. pairwise update).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: mean, stddev, min/max, selected quantiles.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a Summary (copies and sorts the data; O(n log n)).
+[[nodiscard]] Summary summarize(std::span<const double> data);
+
+/// Empirical quantile by linear interpolation of the sorted sample.
+/// `sorted` must be ascending; q in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+}  // namespace geochoice::stats

@@ -1,0 +1,48 @@
+#include "stats/tail.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geochoice::stats {
+
+ExponentialFit fit_exponential_tail(std::span<const TailPoint> points) {
+  // Ordinary least squares of y = log(mean_count) on x = c.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t m = 0;
+  for (const TailPoint& p : points) {
+    if (p.mean_count <= 0.0) continue;
+    const double y = std::log(p.mean_count);
+    sx += p.c;
+    sy += y;
+    sxx += p.c * p.c;
+    sxy += p.c * y;
+    ++m;
+  }
+  ExponentialFit fit;
+  fit.points_used = m;
+  if (m < 2) return fit;
+  const double dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  const double slope = (dm * sxy - sx * sy) / denom;
+  fit.b = -slope;
+  fit.log_a = (sy - slope * sx) / dm;
+  return fit;
+}
+
+std::vector<double> empirical_ccdf(std::span<const double> data,
+                                   std::span<const double> thresholds) {
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  const double n = static_cast<double>(sorted.size());
+  for (double t : thresholds) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(n == 0.0 ? 0.0
+                           : static_cast<double>(sorted.end() - it) / n);
+  }
+  return out;
+}
+
+}  // namespace geochoice::stats

@@ -1,0 +1,42 @@
+// tail.hpp — empirical tail estimation for the lemma-validation experiments.
+//
+// Lemma 4 bounds the number of arcs of length >= c/n by 2 n e^{-c};
+// Lemma 9 bounds the number of Voronoi cells of area >= c/n by
+// 12 n e^{-c/6}. Both are exponential tails in c. This module computes the
+// empirical counterparts — exceedance counts over a sweep of c, and a
+// least-squares fit of log E[N_c] = log A - B c — so benches can report the
+// fitted (A, B) next to the paper's analytic constants.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace geochoice::stats {
+
+/// One point of an exceedance curve: at threshold parameter c, the mean and
+/// max (over trials) number of regions of measure >= c/n, plus the analytic
+/// bound for comparison.
+struct TailPoint {
+  double c = 0.0;
+  double mean_count = 0.0;
+  double max_count = 0.0;
+  double bound = 0.0;  // the paper's 2 n e^{-c} or 12 n e^{-c/6}
+};
+
+/// Fit of log(mean_count) = log_a - b * c over the points with positive
+/// mean_count. For Lemma 4 expect b ~ 1; for Lemma 9 expect b >= 1/6.
+struct ExponentialFit {
+  double log_a = 0.0;
+  double b = 0.0;
+  std::size_t points_used = 0;
+};
+
+[[nodiscard]] ExponentialFit fit_exponential_tail(
+    std::span<const TailPoint> points);
+
+/// Empirical complementary CDF of `data` evaluated at each threshold:
+/// fraction of observations >= t.
+[[nodiscard]] std::vector<double> empirical_ccdf(
+    std::span<const double> data, std::span<const double> thresholds);
+
+}  // namespace geochoice::stats

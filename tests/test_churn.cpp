@@ -1,0 +1,117 @@
+// Tests for the dynamic consistent-hashing ring under churn.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dht/churn.hpp"
+#include "rng/rng.hpp"
+
+namespace gd = geochoice::dht;
+namespace gr = geochoice::rng;
+
+TEST(Churn, RejectsBadArguments) {
+  gr::DefaultEngine gen(1);
+  EXPECT_THROW(gd::ChurnSimulator(0, 2, gen), std::invalid_argument);
+  EXPECT_THROW(gd::ChurnSimulator(4, 0, gen), std::invalid_argument);
+}
+
+TEST(Churn, InsertOnlyConservation) {
+  gr::DefaultEngine gen(2);
+  gd::ChurnSimulator sim(64, 2, gen);
+  for (int i = 0; i < 500; ++i) sim.insert_key(gen);
+  EXPECT_EQ(sim.key_count(), 500u);
+  const auto loads = sim.loads();
+  EXPECT_EQ(loads.size(), 64u);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), 0u), 500u);
+  EXPECT_TRUE(sim.check_consistency());
+}
+
+TEST(Churn, JoinMigratesOnlySuccessorKeys) {
+  gr::DefaultEngine gen(3);
+  gd::ChurnSimulator sim(32, 2, gen);
+  for (int i = 0; i < 320; ++i) sim.insert_key(gen);
+  const std::size_t before = sim.key_count();
+  const std::size_t moved = sim.join(gen);
+  EXPECT_EQ(sim.server_count(), 33u);
+  EXPECT_EQ(sim.key_count(), before);  // no keys lost
+  // Expected keys on one server ~ 10; a join can only steal from one arc.
+  EXPECT_LE(moved, 320u / 32u * 5);
+  EXPECT_TRUE(sim.check_consistency());
+}
+
+TEST(Churn, LeaveReplacesAllOrphans) {
+  gr::DefaultEngine gen(4);
+  gd::ChurnSimulator sim(32, 2, gen);
+  for (int i = 0; i < 320; ++i) sim.insert_key(gen);
+  const std::size_t moved = sim.leave(gen);
+  EXPECT_EQ(sim.server_count(), 31u);
+  EXPECT_EQ(sim.key_count(), 320u);
+  EXPECT_GE(moved, 1u);  // w.h.p. the leaver held something
+  EXPECT_TRUE(sim.check_consistency());
+}
+
+TEST(Churn, LeaveLastServerIsNoop) {
+  gr::DefaultEngine gen(5);
+  gd::ChurnSimulator sim(1, 2, gen);
+  sim.insert_key(gen);
+  EXPECT_EQ(sim.leave(gen), 0u);
+  EXPECT_EQ(sim.server_count(), 1u);
+  EXPECT_TRUE(sim.check_consistency());
+}
+
+TEST(Churn, HeavyChurnPreservesConsistency) {
+  gr::DefaultEngine gen(6);
+  gd::ChurnSimulator sim(64, 2, gen);
+  for (int i = 0; i < 256; ++i) sim.insert_key(gen);
+  for (int round = 0; round < 100; ++round) {
+    const double r = gr::uniform01(gen);
+    if (r < 0.4) {
+      (void)sim.join(gen);
+    } else if (r < 0.8) {
+      (void)sim.leave(gen);
+    } else {
+      sim.insert_key(gen);
+    }
+  }
+  EXPECT_TRUE(sim.check_consistency());
+  EXPECT_GT(sim.total_moved(), 0u);
+  const auto loads = sim.loads();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), 0u),
+            sim.key_count());
+}
+
+TEST(Churn, TwoChoicesKeepMaxLoadLowerUnderChurn) {
+  // After a burst of churn, the d = 2 simulator should still show a lower
+  // max load than d = 1 (statistically, over repetitions).
+  double max1 = 0.0, max2 = 0.0;
+  constexpr int kReps = 10;
+  for (int rep = 0; rep < kReps; ++rep) {
+    gr::DefaultEngine gen(100 + rep);
+    gd::ChurnSimulator one(256, 1, gen);
+    gd::ChurnSimulator two(256, 2, gen);
+    for (int i = 0; i < 1024; ++i) {
+      one.insert_key(gen);
+      two.insert_key(gen);
+    }
+    for (int round = 0; round < 64; ++round) {
+      (void)one.join(gen);
+      (void)two.join(gen);
+      (void)one.leave(gen);
+      (void)two.leave(gen);
+    }
+    max1 += one.max_load();
+    max2 += two.max_load();
+    ASSERT_TRUE(one.check_consistency());
+    ASSERT_TRUE(two.check_consistency());
+  }
+  EXPECT_GT(max1 / kReps, max2 / kReps + 1.0);
+}
+
+TEST(Churn, MovedAccountingMonotone) {
+  gr::DefaultEngine gen(7);
+  gd::ChurnSimulator sim(16, 2, gen);
+  for (int i = 0; i < 64; ++i) sim.insert_key(gen);
+  const auto before = sim.total_moved();
+  const auto moved = sim.leave(gen);
+  EXPECT_EQ(sim.total_moved(), before + moved);
+}

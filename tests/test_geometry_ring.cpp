@@ -1,0 +1,167 @@
+// Tests for ring arithmetic: wrapping, arc ownership, arc statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "geometry/ring_arithmetic.hpp"
+#include "rng/rng.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+
+TEST(Wrap01, BasicCases) {
+  EXPECT_DOUBLE_EQ(gg::wrap01(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(gg::wrap01(1.25), 0.25);
+  EXPECT_DOUBLE_EQ(gg::wrap01(-0.25), 0.75);
+  EXPECT_DOUBLE_EQ(gg::wrap01(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gg::wrap01(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(gg::wrap01(-3.5), 0.5);
+}
+
+TEST(Wrap01, AlwaysInRange) {
+  gr::Xoshiro256StarStar gen(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = (gr::uniform01(gen) - 0.5) * 100.0;
+    const double w = gg::wrap01(v);
+    ASSERT_GE(w, 0.0) << v;
+    ASSERT_LT(w, 1.0) << v;
+  }
+}
+
+TEST(RingGap, DirectedGap) {
+  EXPECT_DOUBLE_EQ(gg::ring_gap(0.2, 0.5), 0.3);
+  EXPECT_DOUBLE_EQ(gg::ring_gap(0.5, 0.2), 0.7);
+  EXPECT_DOUBLE_EQ(gg::ring_gap(0.9, 0.1), 0.2);
+  EXPECT_DOUBLE_EQ(gg::ring_gap(0.3, 0.3), 0.0);
+}
+
+TEST(RingDistance, SymmetricAndBounded) {
+  gr::Xoshiro256StarStar gen(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = gr::uniform01(gen);
+    const double b = gr::uniform01(gen);
+    const double d = gg::ring_distance(a, b);
+    ASSERT_DOUBLE_EQ(d, gg::ring_distance(b, a));
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, 0.5);
+  }
+}
+
+TEST(RingOwner, SimpleConfiguration) {
+  const std::vector<double> pos = {0.1, 0.4, 0.8};
+  // Owner of x is the greatest position <= x (wrapping).
+  EXPECT_EQ(gg::ring_owner(pos, 0.15), 0u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.4), 1u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.79), 1u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.9), 2u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.05), 2u);  // wraps to the last server
+  EXPECT_EQ(gg::ring_owner(pos, 0.1), 0u);
+}
+
+TEST(RingOwner, SingleServerOwnsEverything) {
+  const std::vector<double> pos = {0.7};
+  EXPECT_EQ(gg::ring_owner(pos, 0.0), 0u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.69), 0u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.7), 0u);
+  EXPECT_EQ(gg::ring_owner(pos, 0.99), 0u);
+}
+
+namespace {
+
+/// O(n) reference for ring_owner.
+std::size_t brute_owner(const std::vector<double>& sorted, double x) {
+  // Greatest position <= x; wraps to last if none.
+  std::size_t best = sorted.size() - 1;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] <= x) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+class RingOwnerParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingOwnerParam, MatchesBruteForce) {
+  const std::size_t n = GetParam();
+  gr::Xoshiro256StarStar gen(100 + n);
+  std::vector<double> pos(n);
+  for (double& p : pos) p = gr::uniform01(gen);
+  std::sort(pos.begin(), pos.end());
+  for (int q = 0; q < 500; ++q) {
+    const double x = gr::uniform01(gen);
+    ASSERT_EQ(gg::ring_owner(pos, x), brute_owner(pos, x)) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingOwnerParam,
+                         ::testing::Values(1, 2, 3, 5, 17, 64, 257, 1000));
+
+class ArcLengthParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArcLengthParam, SumToOneAndMatchOwnership) {
+  const std::size_t n = GetParam();
+  gr::Xoshiro256StarStar gen(7 + n);
+  std::vector<double> pos(n);
+  for (double& p : pos) p = gr::uniform01(gen);
+  std::sort(pos.begin(), pos.end());
+  const auto arcs = gg::arc_lengths(pos);
+  ASSERT_EQ(arcs.size(), n);
+  const double total = std::accumulate(arcs.begin(), arcs.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (double a : arcs) EXPECT_GE(a, 0.0);
+  // Empirical ownership frequency should match arc lengths: the arc of
+  // server i is exactly the set of points it owns.
+  if (n <= 64) {
+    std::vector<int> hits(n, 0);
+    constexpr int kQ = 20000;
+    for (int q = 0; q < kQ; ++q) {
+      ++hits[gg::ring_owner(pos, gr::uniform01(gen))];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(hits[i] / static_cast<double>(kQ), arcs[i],
+                  0.02 + 4.0 * std::sqrt(arcs[i] / kQ))
+          << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArcLengthParam,
+                         ::testing::Values(1, 2, 8, 64, 1024));
+
+TEST(ArcStatistics, CountArcsAtLeast) {
+  const std::vector<double> arcs = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(gg::count_arcs_at_least(arcs, 0.25), 2u);
+  EXPECT_EQ(gg::count_arcs_at_least(arcs, 0.05), 4u);
+  EXPECT_EQ(gg::count_arcs_at_least(arcs, 0.5), 0u);
+  EXPECT_EQ(gg::count_arcs_at_least(arcs, 0.2), 3u);  // inclusive
+}
+
+TEST(ArcStatistics, SumOfLargest) {
+  const std::vector<double> arcs = {0.1, 0.4, 0.2, 0.3};
+  EXPECT_NEAR(gg::sum_of_largest(arcs, 1), 0.4, 1e-15);
+  EXPECT_NEAR(gg::sum_of_largest(arcs, 2), 0.7, 1e-15);
+  EXPECT_NEAR(gg::sum_of_largest(arcs, 4), 1.0, 1e-15);
+  EXPECT_NEAR(gg::sum_of_largest(arcs, 10), 1.0, 1e-15);  // clamped
+  EXPECT_DOUBLE_EQ(gg::sum_of_largest(arcs, 0), 0.0);
+}
+
+TEST(ArcStatistics, LargestArcIsOrderLogNOverN) {
+  // The longest arc among n random points is ~ ln(n)/n in expectation;
+  // check it is within a generous constant band across trials.
+  gr::Xoshiro256StarStar gen(11);
+  const std::size_t n = 4096;
+  double worst = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> pos(n);
+    for (double& p : pos) p = gr::uniform01(gen);
+    std::sort(pos.begin(), pos.end());
+    const auto arcs = gg::arc_lengths(pos);
+    worst = std::max(worst, *std::max_element(arcs.begin(), arcs.end()));
+  }
+  const double ln_over_n = std::log(static_cast<double>(n)) / n;
+  EXPECT_GT(worst, 0.5 * ln_over_n);
+  EXPECT_LT(worst, 4.0 * ln_over_n);  // paper uses 4 ln n / n as the whp cap
+}

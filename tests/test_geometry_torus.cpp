@@ -1,0 +1,89 @@
+// Tests for Vec2 and the flat-torus metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/point.hpp"
+#include "rng/rng.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+
+TEST(Vec2, Arithmetic) {
+  const gg::Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (gg::Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (gg::Vec2{-2.0, 3.0}));
+  EXPECT_EQ((2.0 * a), (gg::Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(gg::dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(gg::cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(gg::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(gg::norm(gg::Vec2{3.0, 4.0}), 5.0);
+}
+
+TEST(TorusDelta, WrapsToNearestImage) {
+  EXPECT_DOUBLE_EQ(gg::torus_delta(0.9, 0.1), -0.2);  // wraps backwards
+  EXPECT_DOUBLE_EQ(gg::torus_delta(0.1, 0.9), 0.2);
+  EXPECT_DOUBLE_EQ(gg::torus_delta(0.3, 0.1), 0.2);
+  // Exactly half-way wraps to the negative end of [-0.5, 0.5).
+  EXPECT_DOUBLE_EQ(gg::torus_delta(0.6, 0.1), -0.5);
+}
+
+TEST(TorusDelta, AlwaysInHalfOpenRange) {
+  gr::Xoshiro256StarStar gen(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double a = gr::uniform01(gen);
+    const double b = gr::uniform01(gen);
+    const double d = gg::torus_delta(a, b);
+    ASSERT_GE(d, -0.5);
+    ASSERT_LT(d, 0.5);
+  }
+}
+
+TEST(TorusDistance, SymmetricNonNegativeBounded) {
+  gr::Xoshiro256StarStar gen(4);
+  for (int i = 0; i < 20000; ++i) {
+    const gg::Vec2 a{gr::uniform01(gen), gr::uniform01(gen)};
+    const gg::Vec2 b{gr::uniform01(gen), gr::uniform01(gen)};
+    const double d = gg::torus_dist(a, b);
+    ASSERT_DOUBLE_EQ(d, gg::torus_dist(b, a));
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, gg::kTorusDiameter + 1e-15);
+  }
+}
+
+TEST(TorusDistance, IdentityOfIndiscernibles) {
+  const gg::Vec2 p{0.3, 0.7};
+  EXPECT_DOUBLE_EQ(gg::torus_dist(p, p), 0.0);
+  // Periodic images are the same torus point.
+  EXPECT_NEAR(gg::torus_dist(p, gg::wrap01(gg::Vec2{1.3, -0.3})), 0.0, 1e-12);
+}
+
+TEST(TorusDistance, TriangleInequality) {
+  gr::Xoshiro256StarStar gen(5);
+  for (int i = 0; i < 10000; ++i) {
+    const gg::Vec2 a{gr::uniform01(gen), gr::uniform01(gen)};
+    const gg::Vec2 b{gr::uniform01(gen), gr::uniform01(gen)};
+    const gg::Vec2 c{gr::uniform01(gen), gr::uniform01(gen)};
+    ASSERT_LE(gg::torus_dist(a, c),
+              gg::torus_dist(a, b) + gg::torus_dist(b, c) + 1e-12);
+  }
+}
+
+TEST(TorusDistance, WrapAroundShorterThanDirect) {
+  // Points near opposite edges are close on the torus.
+  const gg::Vec2 a{0.05, 0.5}, b{0.95, 0.5};
+  EXPECT_NEAR(gg::torus_dist(a, b), 0.1, 1e-12);
+  const gg::Vec2 c{0.05, 0.05}, d{0.95, 0.95};
+  EXPECT_NEAR(gg::torus_dist(c, d), std::sqrt(0.02), 1e-12);
+}
+
+TEST(TorusDistance, MaximalAtCenterOfFundamentalSquare) {
+  const gg::Vec2 origin{0.0, 0.0}, center{0.5, 0.5};
+  EXPECT_NEAR(gg::torus_dist(origin, center), gg::kTorusDiameter, 1e-12);
+}
+
+TEST(Wrap01Vec, WrapsBothCoordinates) {
+  const gg::Vec2 w = gg::wrap01(gg::Vec2{1.25, -0.25});
+  EXPECT_DOUBLE_EQ(w.x, 0.25);
+  EXPECT_DOUBLE_EQ(w.y, 0.75);
+}

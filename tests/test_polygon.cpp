@@ -1,0 +1,104 @@
+// Tests for convex polygon clipping (the Voronoi cell primitive).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/polygon.hpp"
+
+namespace gg = geochoice::geometry;
+
+TEST(ConvexPolygon, SquareBasics) {
+  const auto sq = gg::ConvexPolygon::centered_square(0.5);
+  EXPECT_FALSE(sq.empty());
+  EXPECT_EQ(sq.vertex_count(), 4u);
+  EXPECT_NEAR(sq.area(), 1.0, 1e-15);
+  EXPECT_NEAR(sq.max_vertex_radius(), std::sqrt(0.5), 1e-15);
+  const auto c = sq.centroid();
+  EXPECT_NEAR(c.x, 0.0, 1e-15);
+  EXPECT_NEAR(c.y, 0.0, 1e-15);
+}
+
+TEST(ConvexPolygon, ContainsInteriorNotExterior) {
+  const auto sq = gg::ConvexPolygon::centered_square(1.0);
+  EXPECT_TRUE(sq.contains({0.0, 0.0}));
+  EXPECT_TRUE(sq.contains({0.99, 0.99}));
+  EXPECT_TRUE(sq.contains({1.0, 0.0}));  // boundary counts
+  EXPECT_FALSE(sq.contains({1.01, 0.0}));
+  EXPECT_FALSE(sq.contains({0.0, -1.5}));
+}
+
+TEST(ConvexPolygon, ClipByVerticalLineHalvesSquare) {
+  auto sq = gg::ConvexPolygon::centered_square(0.5);
+  // Keep x <= 0: point (0,0), normal +x.
+  sq.clip_half_plane({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(sq.area(), 0.5, 1e-15);
+  EXPECT_TRUE(sq.contains({-0.25, 0.0}));
+  EXPECT_FALSE(sq.contains({0.25, 0.0}));
+}
+
+TEST(ConvexPolygon, ClipByDiagonal) {
+  auto sq = gg::ConvexPolygon::centered_square(0.5);
+  // Keep x + y <= 0.
+  sq.clip_half_plane({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_NEAR(sq.area(), 0.5, 1e-15);
+}
+
+TEST(ConvexPolygon, ClipAwayEverything) {
+  auto sq = gg::ConvexPolygon::centered_square(0.5);
+  sq.clip_half_plane({2.0, 0.0}, {-1.0, 0.0});  // keep x >= 2
+  EXPECT_TRUE(sq.empty());
+  EXPECT_DOUBLE_EQ(sq.area(), 0.0);
+}
+
+TEST(ConvexPolygon, ClipThatMissesIsIdentity) {
+  auto sq = gg::ConvexPolygon::centered_square(0.5);
+  sq.clip_half_plane({2.0, 0.0}, {1.0, 0.0});  // keep x <= 2 (everything)
+  EXPECT_NEAR(sq.area(), 1.0, 1e-15);
+  EXPECT_EQ(sq.vertex_count(), 4u);
+}
+
+TEST(ConvexPolygon, BisectorClipKeepsOriginSide) {
+  auto sq = gg::ConvexPolygon::centered_square(1.0);
+  // Bisector against a site at (1, 0): keep x <= 0.5.
+  sq.clip_bisector({1.0, 0.0});
+  EXPECT_TRUE(sq.contains({0.0, 0.0}));
+  EXPECT_TRUE(sq.contains({0.49, 0.0}));
+  EXPECT_FALSE(sq.contains({0.51, 0.0}));
+  EXPECT_NEAR(sq.area(), 1.5 * 2.0, 1e-12);  // width 1.5, height 2
+}
+
+TEST(ConvexPolygon, RepeatedClipsShrinkToHexagonLikeCell) {
+  auto poly = gg::ConvexPolygon::centered_square(0.5);
+  const double r = 0.2;
+  for (int k = 0; k < 6; ++k) {
+    const double a = 2.0 * M_PI * k / 6.0;
+    poly.clip_bisector({r * std::cos(a), r * std::sin(a)});
+  }
+  // Regular hexagon with circumradius r/2 * 2/sqrt(3): area = (sqrt(3)/2) r^2.
+  EXPECT_FALSE(poly.empty());
+  EXPECT_NEAR(poly.area(), std::sqrt(3.0) / 2.0 * r * r, 1e-12);
+  EXPECT_TRUE(poly.contains({0.0, 0.0}));
+}
+
+TEST(ConvexPolygon, ClipIsIdempotent) {
+  auto a = gg::ConvexPolygon::centered_square(0.5);
+  a.clip_bisector({0.3, 0.1});
+  const double area1 = a.area();
+  a.clip_bisector({0.3, 0.1});
+  EXPECT_NEAR(a.area(), area1, 1e-15);
+}
+
+TEST(ConvexPolygon, MaxVertexRadiusShrinksUnderClipping) {
+  auto poly = gg::ConvexPolygon::centered_square(0.5);
+  const double r0 = poly.max_vertex_radius();
+  poly.clip_bisector({0.2, 0.2});
+  EXPECT_LE(poly.max_vertex_radius(), r0 + 1e-15);
+}
+
+TEST(ConvexPolygon, DegeneratePolygonIsEmpty) {
+  gg::ConvexPolygon p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.area(), 0.0);
+  EXPECT_FALSE(p.contains({0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(p.max_vertex_radius(), 0.0);
+}

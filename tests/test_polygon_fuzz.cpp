@@ -1,0 +1,133 @@
+// Randomized property tests for convex polygon clipping: the exact areas
+// are cross-checked against Monte-Carlo membership estimates, and clip
+// sequences against permutation invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "rng/rng.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+
+namespace {
+
+/// Build a polygon by clipping the unit-radius square with `clips` random
+/// bisectors at distance >= min_r from the origin (so the origin stays
+/// inside).
+gg::ConvexPolygon random_cell(int clips, double min_r,
+                              gr::DefaultEngine& gen) {
+  auto poly = gg::ConvexPolygon::centered_square(1.0);
+  for (int i = 0; i < clips; ++i) {
+    const double angle = 2.0 * M_PI * gr::uniform01(gen);
+    const double r = min_r + gr::uniform01(gen);
+    poly.clip_bisector({r * std::cos(angle), r * std::sin(angle)});
+  }
+  return poly;
+}
+
+double monte_carlo_area(const gg::ConvexPolygon& poly, int samples,
+                        gr::DefaultEngine& gen) {
+  int inside = 0;
+  for (int i = 0; i < samples; ++i) {
+    const gg::Vec2 p{gr::uniform_real(gen, -1.0, 1.0),
+                     gr::uniform_real(gen, -1.0, 1.0)};
+    inside += poly.contains(p);
+  }
+  // Sample box is [-1,1]^2, area 4.
+  return 4.0 * static_cast<double>(inside) / static_cast<double>(samples);
+}
+
+}  // namespace
+
+class PolygonFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolygonFuzz, ShoelaceAreaMatchesMonteCarlo) {
+  gr::DefaultEngine gen(1000 + GetParam());
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto poly = random_cell(GetParam(), 0.3, gen);
+    ASSERT_FALSE(poly.empty());
+    const double exact = poly.area();
+    const double mc = monte_carlo_area(poly, 40000, gen);
+    // MC stderr ~ 4*sqrt(p(1-p)/40000) <= 0.01; allow 4 sigma.
+    ASSERT_NEAR(exact, mc, 0.045) << "clips=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClipCounts, PolygonFuzz,
+                         ::testing::Values(0, 1, 3, 8, 20, 50));
+
+TEST(PolygonFuzz, ClipOrderDoesNotMatter) {
+  gr::DefaultEngine gen(7);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<gg::Vec2> others;
+    for (int i = 0; i < 8; ++i) {
+      const double angle = 2.0 * M_PI * gr::uniform01(gen);
+      const double r = 0.4 + gr::uniform01(gen);
+      others.push_back({r * std::cos(angle), r * std::sin(angle)});
+    }
+    auto forward = gg::ConvexPolygon::centered_square(1.0);
+    for (const auto& v : others) forward.clip_bisector(v);
+    auto backward = gg::ConvexPolygon::centered_square(1.0);
+    for (auto it = others.rbegin(); it != others.rend(); ++it) {
+      backward.clip_bisector(*it);
+    }
+    ASSERT_NEAR(forward.area(), backward.area(), 1e-12);
+  }
+}
+
+TEST(PolygonFuzz, VerticesStayInsideEveryHalfPlane) {
+  gr::DefaultEngine gen(8);
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<gg::Vec2> others;
+    for (int i = 0; i < 12; ++i) {
+      const double angle = 2.0 * M_PI * gr::uniform01(gen);
+      const double r = 0.3 + gr::uniform01(gen);
+      others.push_back({r * std::cos(angle), r * std::sin(angle)});
+    }
+    auto poly = gg::ConvexPolygon::centered_square(1.0);
+    for (const auto& v : others) poly.clip_bisector(v);
+    ASSERT_FALSE(poly.empty());
+    for (const gg::Vec2 vert : poly.vertices()) {
+      for (const auto& v : others) {
+        // |vert| <= |vert - v| (closer to the origin than to v), with
+        // floating tolerance.
+        ASSERT_LE(gg::norm2(vert), gg::norm2(vert - v) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PolygonFuzz, AreaMonotoneUnderClipping) {
+  gr::DefaultEngine gen(9);
+  auto poly = gg::ConvexPolygon::centered_square(1.0);
+  double prev = poly.area();
+  for (int i = 0; i < 100 && !poly.empty(); ++i) {
+    const double angle = 2.0 * M_PI * gr::uniform01(gen);
+    const double r = 0.05 + 1.5 * gr::uniform01(gen);
+    poly.clip_bisector({r * std::cos(angle), r * std::sin(angle)});
+    const double cur = poly.area();
+    ASSERT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(PolygonFuzz, ContainsConsistentWithClipping) {
+  // A point inside the polygon stays inside after a clip iff it satisfies
+  // the clip's half-plane.
+  gr::DefaultEngine gen(10);
+  for (int rep = 0; rep < 200; ++rep) {
+    auto poly = gg::ConvexPolygon::centered_square(1.0);
+    const gg::Vec2 p{gr::uniform_real(gen, -0.9, 0.9),
+                     gr::uniform_real(gen, -0.9, 0.9)};
+    ASSERT_TRUE(poly.contains(p));
+    const double angle = 2.0 * M_PI * gr::uniform01(gen);
+    const double r = 0.2 + gr::uniform01(gen);
+    const gg::Vec2 v{r * std::cos(angle), r * std::sin(angle)};
+    poly.clip_bisector(v);
+    const bool in_half = gg::norm2(p) <= gg::norm2(p - v) + 1e-12;
+    ASSERT_EQ(poly.contains(p, 1e-9), in_half) << "rep=" << rep;
+  }
+}

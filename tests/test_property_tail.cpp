@@ -1,0 +1,185 @@
+// Property tests for the paper's probabilistic lemmas: the arc-length tail
+// (Lemma 4), the largest-arcs sum (Lemma 6), negative dependence (Lemma 3,
+// empirically), and the Voronoi-area tail (Lemma 9).
+//
+// These are statements that hold with high probability; each test runs
+// enough trials that a violation of the *bound* (which already includes
+// slack) indicates a real bug rather than bad luck.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/theory.hpp"
+#include "geometry/geometry.hpp"
+#include "rng/rng.hpp"
+#include "stats/tail.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+namespace th = geochoice::core::theory;
+
+namespace {
+
+std::vector<double> make_arcs(std::size_t n, gr::DefaultEngine& gen) {
+  std::vector<double> pos(n);
+  for (double& p : pos) p = gr::uniform01(gen);
+  std::sort(pos.begin(), pos.end());
+  return gg::arc_lengths(pos);
+}
+
+}  // namespace
+
+class Lemma4Param : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma4Param, ArcTailBoundHolds) {
+  // Pr(N_c >= 2 n e^{-c}) <= e^{-n e^{-c}/3}; at n = 4096 and the c values
+  // below that failure probability is < 1e-9, so the bound must hold in
+  // every one of 50 trials.
+  const double c = GetParam();
+  const std::size_t n = 4096;
+  gr::DefaultEngine gen(static_cast<std::uint64_t>(c * 1000) + 1);
+  const double bound = th::arc_tail_bound(static_cast<double>(n), c);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto arcs = make_arcs(n, gen);
+    const auto n_c =
+        gg::count_arcs_at_least(arcs, c / static_cast<double>(n));
+    ASSERT_LT(static_cast<double>(n_c), bound) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CValues, Lemma4Param,
+                         ::testing::Values(2.0, 3.0, 4.0, 5.0));
+
+TEST(Lemma4, ExpectationMatchesTheory) {
+  // E[N_c] = n (1 - c/n)^{n-1} ~ n e^{-c}; check the empirical mean tracks
+  // the analytic expectation within a few percent.
+  const std::size_t n = 4096;
+  const double c = 3.0;
+  gr::DefaultEngine gen(11);
+  double total = 0.0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    total += static_cast<double>(gg::count_arcs_at_least(
+        make_arcs(n, gen), c / static_cast<double>(n)));
+  }
+  const double mean = total / kTrials;
+  const double expected = static_cast<double>(n) *
+                          std::pow(1.0 - c / static_cast<double>(n),
+                                   static_cast<double>(n - 1));
+  EXPECT_NEAR(mean / expected, 1.0, 0.05);
+  EXPECT_LE(mean, th::arc_tail_expectation(static_cast<double>(n), c) * 1.05);
+}
+
+TEST(Lemma3, NegativeDependenceEmpirically) {
+  // Lemma 3: E[Z_i Z_j] <= E[Z_i] E[Z_j] for long-arc indicators. Estimate
+  // the pairwise covariance of (arc_0 >= c/n, arc_1 >= c/n); it must not be
+  // significantly positive.
+  const std::size_t n = 256;
+  const double c = 2.0;
+  const double threshold = c / static_cast<double>(n);
+  gr::DefaultEngine gen(12);
+  constexpr int kTrials = 20000;
+  int z0 = 0, z1 = 0, z01 = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto arcs = make_arcs(n, gen);
+    const bool a = arcs[0] >= threshold;
+    const bool b = arcs[1] >= threshold;
+    z0 += a;
+    z1 += b;
+    z01 += a && b;
+  }
+  const double p0 = z0 / static_cast<double>(kTrials);
+  const double p1 = z1 / static_cast<double>(kTrials);
+  const double p01 = z01 / static_cast<double>(kTrials);
+  const double cov = p01 - p0 * p1;
+  // Standard error of the covariance estimate ~ sqrt(p01/kTrials) ~ 0.002.
+  EXPECT_LE(cov, 3.0 * std::sqrt(p01 / kTrials) + 1e-4)
+      << "positive dependence detected: cov=" << cov;
+}
+
+class Lemma6Param : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lemma6Param, LargestArcsSumBound) {
+  // Sum of the a largest arcs <= 2 (a/n) ln(n/a) w.h.p., for
+  // (ln n)^2 <= a <= n/64.
+  const std::size_t n = 1 << 14;
+  const std::size_t a = GetParam();
+  ASSERT_GE(static_cast<double>(a),
+            std::pow(std::log(static_cast<double>(n)), 2.0) * 0.99);
+  ASSERT_LE(a, n / 64);
+  gr::DefaultEngine gen(13 + a);
+  const double bound =
+      th::largest_arcs_sum_bound(static_cast<double>(n), static_cast<double>(a));
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto arcs = make_arcs(n, gen);
+    const double sum = gg::sum_of_largest(arcs, a);
+    ASSERT_LT(sum, bound) << "a=" << a << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AValues, Lemma6Param,
+                         ::testing::Values(94, 128, 200, 256));
+
+TEST(Lemma9, VoronoiTailBoundHolds) {
+  // #cells with area >= c/n <= 12 n e^{-c/6} w.h.p. The bound is loose, so
+  // any violation over 20 trials is a bug.
+  const std::size_t n = 1024;
+  gr::DefaultEngine gen(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<gg::Vec2> sites(n);
+    for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+    const gg::SpatialGrid grid(sites);
+    const auto areas = gg::voronoi_areas(grid);
+    for (double c : {6.0, 9.0, 12.0}) {
+      const auto big =
+          gg::count_cells_at_least(areas, c / static_cast<double>(n));
+      const double bound = th::voronoi_tail_bound(static_cast<double>(n), c);
+      ASSERT_LT(static_cast<double>(big), bound)
+          << "c=" << c << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Lemma9, ZStatisticBelowExpectationBound) {
+  // E[Z] < 6 n e^{-c/6}; the empirical mean of Z over trials must respect
+  // it (with Monte-Carlo slack).
+  const std::size_t n = 1024;
+  const double c = 9.0;
+  gr::DefaultEngine gen(15);
+  double total = 0.0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<gg::Vec2> sites(n);
+    for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+    const gg::SpatialGrid grid(sites);
+    total += static_cast<double>(
+        gg::lemma9_z_statistic(grid, c / static_cast<double>(n)));
+  }
+  const double mean_z = total / kTrials;
+  EXPECT_LE(mean_z,
+            th::voronoi_tail_expectation(static_cast<double>(n), c) * 1.1);
+}
+
+TEST(TailFit, ArcTailDecayRateNearOne) {
+  // Fit log E[N_c] = log A - b c over c in [2, 6]: Lemma 4 predicts b ~ 1.
+  const std::size_t n = 8192;
+  gr::DefaultEngine gen(16);
+  std::vector<geochoice::stats::TailPoint> points;
+  constexpr int kTrials = 60;
+  for (double c = 2.0; c <= 6.0; c += 1.0) {
+    points.push_back({c, 0.0, 0.0, 0.0});
+  }
+  for (int t = 0; t < kTrials; ++t) {
+    const auto arcs = make_arcs(n, gen);
+    for (auto& pt : points) {
+      pt.mean_count += static_cast<double>(gg::count_arcs_at_least(
+          arcs, pt.c / static_cast<double>(n)));
+    }
+  }
+  for (auto& pt : points) pt.mean_count /= kTrials;
+  const auto fit = geochoice::stats::fit_exponential_tail(points);
+  EXPECT_NEAR(fit.b, 1.0, 0.1);
+  EXPECT_NEAR(fit.log_a, std::log(static_cast<double>(n)), 0.35);
+}

@@ -1,0 +1,105 @@
+// Tests for the Lemma 8 six-sector construction and Lemma 9 statistic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "geometry/sector.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "geometry/voronoi.hpp"
+#include "rng/rng.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+
+TEST(Sector, SectorOfCardinalDirections) {
+  EXPECT_EQ(gg::sector_of({1.0, 0.0}), 0);
+  EXPECT_EQ(gg::sector_of({1.0, 0.1}), 0);
+  EXPECT_EQ(gg::sector_of({0.0, 1.0}), 1);   // 90 degrees
+  EXPECT_EQ(gg::sector_of({-1.0, 0.5}), 2);  // ~153 degrees
+  EXPECT_EQ(gg::sector_of({-1.0, -0.1}), 3);
+  EXPECT_EQ(gg::sector_of({0.0, -1.0}), 4);  // 270 degrees
+  EXPECT_EQ(gg::sector_of({1.0, -0.1}), 5);
+}
+
+TEST(Sector, SixtyDegreeBoundaries) {
+  const double d60 = std::numbers::pi / 3.0;
+  for (int k = 0; k < 6; ++k) {
+    const double mid = (k + 0.5) * d60;
+    EXPECT_EQ(gg::sector_of({std::cos(mid), std::sin(mid)}), k) << k;
+  }
+}
+
+TEST(Sector, DiskRadiusForArea) {
+  EXPECT_NEAR(gg::disk_radius_for_area(std::numbers::pi), 1.0, 1e-12);
+  EXPECT_NEAR(gg::disk_radius_for_area(std::numbers::pi / 4.0), 0.5, 1e-12);
+}
+
+TEST(Sector, IsolatedSiteHasAllSectorsEmpty) {
+  const std::vector<gg::Vec2> sites = {{0.5, 0.5}, {0.1, 0.1}};
+  gg::SpatialGrid grid(sites);
+  // A tiny disk around site 0 contains no other site.
+  EXPECT_EQ(gg::empty_sector_mask(grid, 0, 1e-6), 0x3fu);
+}
+
+TEST(Sector, NeighborOccupiesTheRightSector) {
+  // Site 1 is due east of site 0 at distance 0.01 — sector 0 of site 0.
+  const std::vector<gg::Vec2> sites = {{0.5, 0.5}, {0.51, 0.5}};
+  gg::SpatialGrid grid(sites);
+  const double disk_area = std::numbers::pi * 0.02 * 0.02;  // radius 0.02
+  const unsigned mask = gg::empty_sector_mask(grid, 0, disk_area);
+  EXPECT_EQ(mask & 1u, 0u) << "sector 0 should be occupied";
+  EXPECT_EQ(mask, 0x3eu) << "all other sectors empty";
+}
+
+TEST(Sector, Lemma8HoldsOnRandomInstances) {
+  gr::Xoshiro256StarStar gen(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 256;
+    std::vector<gg::Vec2> sites(n);
+    for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+    gg::SpatialGrid grid(sites);
+    const auto areas = gg::voronoi_areas(grid);
+    // Check several thresholds c; Lemma 8 is deterministic so it must hold
+    // for every site, every time.
+    for (double c : {2.0, 4.0, 8.0}) {
+      const double threshold = c / static_cast<double>(n);
+      for (std::uint32_t s = 0; s < n; ++s) {
+        ASSERT_TRUE(gg::lemma8_holds(grid, s, areas[s], threshold))
+            << "Lemma 8 violated at site " << s << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Sector, ZStatisticUpperBoundsLargeCells) {
+  // By Lemma 8, Z (empty sectors) >= number of cells with area >= c/n.
+  gr::Xoshiro256StarStar gen(78);
+  const std::size_t n = 512;
+  std::vector<gg::Vec2> sites(n);
+  for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+  gg::SpatialGrid grid(sites);
+  const auto areas = gg::voronoi_areas(grid);
+  for (double c : {3.0, 6.0, 9.0}) {
+    const double threshold = c / static_cast<double>(n);
+    const std::size_t big = gg::count_cells_at_least(areas, threshold);
+    const std::size_t z = gg::lemma9_z_statistic(grid, threshold);
+    EXPECT_GE(z, big) << "c=" << c;
+  }
+}
+
+TEST(Sector, ZStatisticDecreasesInC) {
+  gr::Xoshiro256StarStar gen(79);
+  const std::size_t n = 512;
+  std::vector<gg::Vec2> sites(n);
+  for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+  gg::SpatialGrid grid(sites);
+  const double dn = static_cast<double>(n);
+  std::size_t prev = gg::lemma9_z_statistic(grid, 1.0 / dn);
+  for (double c : {2.0, 4.0, 8.0, 16.0}) {
+    const std::size_t z = gg::lemma9_z_statistic(grid, c / dn);
+    EXPECT_LE(z, prev) << "c=" << c;
+    prev = z;
+  }
+}

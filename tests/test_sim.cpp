@@ -1,0 +1,248 @@
+// Tests for the simulation harness: CLI parsing, table rendering, CSV
+// output, and the experiment runner's determinism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/sim.hpp"
+
+namespace gm = geochoice::sim;
+namespace gc = geochoice::core;
+
+namespace {
+
+gm::ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return gm::ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ ArgParser
+
+TEST(ArgParser, EqualsForm) {
+  const auto p = parse({"--trials=500", "--alpha=1.5", "--name=ring"});
+  EXPECT_EQ(p.get_u64("trials", 0), 500u);
+  EXPECT_DOUBLE_EQ(p.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(p.get_string("name", ""), "ring");
+}
+
+TEST(ArgParser, SpaceForm) {
+  const auto p = parse({"--trials", "42"});
+  EXPECT_EQ(p.get_u64("trials", 0), 42u);
+}
+
+TEST(ArgParser, BooleanFlag) {
+  const auto p = parse({"--full"});
+  EXPECT_TRUE(p.has("full"));
+  EXPECT_FALSE(p.has("other"));
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  const auto p = parse({});
+  EXPECT_EQ(p.get_u64("trials", 7), 7u);
+  EXPECT_DOUBLE_EQ(p.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(p.get_string("s", "dflt"), "dflt");
+}
+
+TEST(ArgParser, AcceptsDoubleDashPrefixInQueries) {
+  const auto p = parse({"--n=9"});
+  EXPECT_EQ(p.get_u64("--n", 0), 9u);
+}
+
+TEST(ArgParser, U64List) {
+  const auto p = parse({"--n=256,4096,65536"});
+  const auto v = p.get_u64_list("n", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 256u);
+  EXPECT_EQ(v[2], 65536u);
+}
+
+TEST(ArgParser, BadValuesThrow) {
+  const auto p = parse({"--trials=abc", "--x=1.2.3", "--list=1,junk"});
+  EXPECT_THROW((void)p.get_u64("trials", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_u64_list("list", {}), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentsRejected) {
+  const std::vector<const char*> argv = {"prog", "oops"};
+  EXPECT_THROW(
+      gm::ArgParser(static_cast<int>(argv.size()), argv.data()),
+      std::invalid_argument);
+}
+
+TEST(ArgParser, UnusedFlagsReported) {
+  const auto p = parse({"--used=1", "--typo=2"});
+  (void)p.get_u64("used", 0);
+  const auto unused = p.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// --------------------------------------------------------------- table format
+
+TEST(TableFormat, DistributionLines) {
+  geochoice::stats::IntHistogram h;
+  h.add(4, 70);
+  h.add(3, 27);
+  h.add(5, 3);
+  const auto lines = gm::distribution_lines(h);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("3"), std::string::npos);
+  EXPECT_NE(lines[0].find("27.0%"), std::string::npos);
+  EXPECT_NE(lines[1].find("70.0%"), std::string::npos);
+}
+
+TEST(TableFormat, EmptyHistogram) {
+  const auto lines = gm::distribution_lines({});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "(no data)");
+}
+
+TEST(TableFormat, Pow2Label) {
+  EXPECT_EQ(gm::pow2_label(256), "2^8");
+  EXPECT_EQ(gm::pow2_label(1 << 20), "2^20");
+  EXPECT_EQ(gm::pow2_label(1000), "1000");
+  EXPECT_EQ(gm::pow2_label(1), "2^0");
+}
+
+TEST(TableFormat, RenderTableContainsEverything) {
+  geochoice::stats::IntHistogram h1, h2;
+  h1.add(4, 100);
+  h2.add(3, 60);
+  h2.add(4, 40);
+  std::vector<gm::TableRowBlock> rows;
+  rows.push_back({"2^8", {{h1}, {h2}}});
+  const std::string t =
+      gm::render_table("Table X", {"d = 1", "d = 2"}, rows);
+  EXPECT_NE(t.find("Table X"), std::string::npos);
+  EXPECT_NE(t.find("d = 1"), std::string::npos);
+  EXPECT_NE(t.find("2^8"), std::string::npos);
+  EXPECT_NE(t.find("100.0%"), std::string::npos);
+  EXPECT_NE(t.find("60.0%"), std::string::npos);
+}
+
+// ------------------------------------------------------------------------ CSV
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/geochoice_test.csv";
+  {
+    gm::CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "x,y"});
+    csv.row_values({2.5, 3.0});
+    EXPECT_EQ(csv.rows_written(), 2u);
+    EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(gm::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(gm::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(gm::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, UnopenablePathThrows) {
+  EXPECT_THROW(gm::CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+// ----------------------------------------------------------------- experiment
+
+TEST(Experiment, SpaceKindRoundTrip) {
+  EXPECT_EQ(gm::space_kind_from_string("ring"), gm::SpaceKind::kRing);
+  EXPECT_EQ(gm::space_kind_from_string("torus"), gm::SpaceKind::kTorus);
+  EXPECT_EQ(gm::space_kind_from_string("uniform"), gm::SpaceKind::kUniform);
+  EXPECT_THROW(gm::space_kind_from_string("plane"), std::invalid_argument);
+  EXPECT_EQ(gm::to_string(gm::SpaceKind::kTorus), "torus");
+}
+
+TEST(Experiment, BallsDefaultsToServers) {
+  gm::ExperimentConfig cfg;
+  cfg.num_servers = 100;
+  EXPECT_EQ(cfg.balls(), 100u);
+  cfg.num_balls = 10;
+  EXPECT_EQ(cfg.balls(), 10u);
+}
+
+TEST(Experiment, ZeroTrialsRejected) {
+  gm::ExperimentConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW((void)gm::run_max_load_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Experiment, DeterministicAcrossThreadCounts) {
+  gm::ExperimentConfig cfg;
+  cfg.space = gm::SpaceKind::kRing;
+  cfg.num_servers = 256;
+  cfg.trials = 40;
+  cfg.seed = 7;
+  cfg.threads = 1;
+  const auto h1 = gm::run_max_load_experiment(cfg);
+  cfg.threads = 4;
+  const auto h4 = gm::run_max_load_experiment(cfg);
+  EXPECT_EQ(h1, h4);
+}
+
+TEST(Experiment, SeedChangesDistributionSamples) {
+  gm::ExperimentConfig a;
+  a.num_servers = 256;
+  a.trials = 20;
+  a.seed = 1;
+  gm::ExperimentConfig b = a;
+  b.seed = 2;
+  // Same shape but (almost surely) not identical histograms.
+  EXPECT_NE(gm::run_max_load_experiment(a), gm::run_max_load_experiment(b));
+}
+
+TEST(Experiment, UniformTwoChoiceMatchesKnownScale) {
+  gm::ExperimentConfig cfg;
+  cfg.space = gm::SpaceKind::kUniform;
+  cfg.num_servers = 1 << 12;
+  cfg.trials = 30;
+  const auto h = gm::run_max_load_experiment(cfg);
+  // Classic result: max load = log2 log n + Theta(1) ~ 3-4 at n = 4096.
+  EXPECT_GE(h.min_value(), 2u);
+  EXPECT_LE(h.max_value(), 6u);
+}
+
+TEST(Experiment, MeanMaxLoadAgreesWithHistogram) {
+  gm::ExperimentConfig cfg;
+  cfg.num_servers = 128;
+  cfg.trials = 25;
+  EXPECT_NEAR(gm::mean_max_load(cfg),
+              gm::run_max_load_experiment(cfg).mean(), 1e-12);
+}
+
+TEST(Experiment, TorusExperimentRuns) {
+  gm::ExperimentConfig cfg;
+  cfg.space = gm::SpaceKind::kTorus;
+  cfg.num_servers = 256;
+  cfg.trials = 10;
+  const auto h = gm::run_max_load_experiment(cfg);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_GE(h.min_value(), 2u);
+  EXPECT_LE(h.max_value(), 7u);
+}
+
+TEST(Experiment, SmallerRegionTieOnTorusRuns) {
+  gm::ExperimentConfig cfg;
+  cfg.space = gm::SpaceKind::kTorus;
+  cfg.num_servers = 128;
+  cfg.trials = 5;
+  cfg.tie = gc::TieBreak::kSmallerRegion;
+  const auto h = gm::run_max_load_experiment(cfg);
+  EXPECT_EQ(h.total(), 5u);
+}

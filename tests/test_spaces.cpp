@@ -1,0 +1,180 @@
+// Tests for the GeometricSpace implementations: ring, torus, uniform,
+// weighted — ownership/measure consistency and sampling behaviour.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "spaces/spaces.hpp"
+
+namespace gs = geochoice::spaces;
+namespace gr = geochoice::rng;
+namespace gg = geochoice::geometry;
+
+// ------------------------------------------------------------------ RingSpace
+
+TEST(RingSpace, RejectsBadInput) {
+  EXPECT_THROW(gs::RingSpace(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(gs::RingSpace({0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(gs::RingSpace({-0.1}), std::invalid_argument);
+}
+
+TEST(RingSpace, SortsPositionsAndComputesArcs) {
+  const gs::RingSpace space({0.8, 0.1, 0.4});
+  EXPECT_EQ(space.bin_count(), 3u);
+  EXPECT_DOUBLE_EQ(space.positions()[0], 0.1);
+  EXPECT_DOUBLE_EQ(space.positions()[2], 0.8);
+  EXPECT_NEAR(space.region_measure(0), 0.3, 1e-15);  // 0.1 -> 0.4
+  EXPECT_NEAR(space.region_measure(1), 0.4, 1e-15);  // 0.4 -> 0.8
+  EXPECT_NEAR(space.region_measure(2), 0.3, 1e-15);  // 0.8 -> 0.1 (wrap)
+}
+
+TEST(RingSpace, OwnerMatchesArcs) {
+  const gs::RingSpace space({0.1, 0.4, 0.8});
+  EXPECT_EQ(space.owner(0.2), 0u);
+  EXPECT_EQ(space.owner(0.5), 1u);
+  EXPECT_EQ(space.owner(0.9), 2u);
+  EXPECT_EQ(space.owner(0.05), 2u);
+}
+
+TEST(RingSpace, EquallySpacedHasUniformMeasures) {
+  const auto space = gs::RingSpace::equally_spaced(16);
+  for (gs::BinIndex i = 0; i < 16; ++i) {
+    EXPECT_NEAR(space.region_measure(i), 1.0 / 16.0, 1e-12);
+  }
+}
+
+TEST(RingSpace, MeasuresSumToOne) {
+  gr::Xoshiro256StarStar gen(1);
+  const auto space = gs::RingSpace::random(1000, gen);
+  double total = 0.0;
+  for (gs::BinIndex i = 0; i < space.bin_count(); ++i) {
+    total += space.region_measure(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RingSpace, SamplingFrequencyMatchesMeasure) {
+  gr::Xoshiro256StarStar gen(2);
+  const auto space = gs::RingSpace::random(16, gen);
+  std::vector<int> hits(16, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++hits[space.owner(space.sample(gen))];
+  }
+  for (gs::BinIndex b = 0; b < 16; ++b) {
+    EXPECT_NEAR(hits[b] / static_cast<double>(kN), space.region_measure(b),
+                0.01)
+        << b;
+  }
+}
+
+// ----------------------------------------------------------------- TorusSpace
+
+TEST(TorusSpace, RejectsEmpty) {
+  EXPECT_THROW(gs::TorusSpace(std::vector<gg::Vec2>{}),
+               std::invalid_argument);
+}
+
+TEST(TorusSpace, WrapsInputCoordinates) {
+  const gs::TorusSpace space({{1.25, -0.25}});
+  EXPECT_EQ(space.bin_count(), 1u);
+  EXPECT_DOUBLE_EQ(space.sites()[0].x, 0.25);
+  EXPECT_DOUBLE_EQ(space.sites()[0].y, 0.75);
+}
+
+TEST(TorusSpace, OwnerIsNearestSite) {
+  gr::Xoshiro256StarStar gen(3);
+  const auto space = gs::TorusSpace::random(100, gen);
+  for (int q = 0; q < 200; ++q) {
+    const gg::Vec2 p = space.sample(gen);
+    const auto owner = space.owner(p);
+    const auto brute = gg::brute_force_nearest(space.sites(), p);
+    ASSERT_DOUBLE_EQ(gg::torus_dist2(space.sites()[owner], p),
+                     gg::torus_dist2(space.sites()[brute], p));
+  }
+}
+
+TEST(TorusSpace, MeasuresOnDemandAndSumToOne) {
+  gr::Xoshiro256StarStar gen(4);
+  auto space = gs::TorusSpace::random(64, gen);
+  EXPECT_FALSE(space.has_measures());
+  EXPECT_THROW((void)space.areas(), std::logic_error);
+  space.ensure_measures();
+  EXPECT_TRUE(space.has_measures());
+  double total = 0.0;
+  for (gs::BinIndex i = 0; i < space.bin_count(); ++i) {
+    total += space.region_measure(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TorusSpace, EnsureMeasuresIsIdempotent) {
+  gr::Xoshiro256StarStar gen(5);
+  auto space = gs::TorusSpace::random(32, gen);
+  space.ensure_measures();
+  const double a0 = space.region_measure(0);
+  space.ensure_measures();
+  EXPECT_DOUBLE_EQ(space.region_measure(0), a0);
+}
+
+// --------------------------------------------------------------- UniformSpace
+
+TEST(UniformSpace, TrivialGeometry) {
+  const gs::UniformSpace space(10);
+  EXPECT_EQ(space.bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(space.region_measure(3), 0.1);
+  EXPECT_EQ(space.owner(7), 7u);
+}
+
+TEST(UniformSpace, SamplesUniformly) {
+  const gs::UniformSpace space(8);
+  gr::Xoshiro256StarStar gen(6);
+  std::vector<int> hits(8, 0);
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++hits[space.sample(gen)];
+  for (int c : hits) {
+    EXPECT_NEAR(c / static_cast<double>(kN), 0.125, 0.01);
+  }
+}
+
+// -------------------------------------------------------------- WeightedSpace
+
+TEST(WeightedSpace, NormalizesMeasures) {
+  const std::vector<double> w = {2.0, 6.0};
+  const gs::WeightedSpace space(w);
+  EXPECT_NEAR(space.region_measure(0), 0.25, 1e-15);
+  EXPECT_NEAR(space.region_measure(1), 0.75, 1e-15);
+}
+
+TEST(WeightedSpace, SamplingMatchesMeasures) {
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  const gs::WeightedSpace space(w);
+  gr::Xoshiro256StarStar gen(7);
+  std::vector<int> hits(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++hits[space.owner(space.sample(gen))];
+  for (gs::BinIndex b = 0; b < 4; ++b) {
+    EXPECT_NEAR(hits[b] / static_cast<double>(kN), space.region_measure(b),
+                0.01)
+        << b;
+  }
+}
+
+TEST(WeightedSpace, ZipfFactory) {
+  const auto space = gs::WeightedSpace::zipf(4, 1.0);
+  // Weights 1, 1/2, 1/3, 1/4; total 25/12.
+  EXPECT_NEAR(space.region_measure(0), 12.0 / 25.0, 1e-12);
+  EXPECT_NEAR(space.region_measure(3), 3.0 / 25.0, 1e-12);
+  double total = 0.0;
+  for (gs::BinIndex i = 0; i < 4; ++i) total += space.region_measure(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(WeightedSpace, UniformWeightsEquivalentToUniformSpace) {
+  const gs::WeightedSpace space(std::vector<double>(5, 3.0));
+  for (gs::BinIndex i = 0; i < 5; ++i) {
+    EXPECT_NEAR(space.region_measure(i), 0.2, 1e-15);
+  }
+}

@@ -1,0 +1,175 @@
+// Tests for the torus spatial grid: nearest-neighbor correctness against
+// brute force, range query completeness, edge configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "geometry/spatial_grid.hpp"
+#include "rng/rng.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+
+namespace {
+
+std::vector<gg::Vec2> random_sites(std::size_t n, std::uint64_t seed) {
+  gr::Xoshiro256StarStar gen(seed);
+  std::vector<gg::Vec2> sites(n);
+  for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+  return sites;
+}
+
+}  // namespace
+
+TEST(SpatialGrid, SingleSiteOwnsEverything) {
+  const std::vector<gg::Vec2> sites = {{0.3, 0.3}};
+  gg::SpatialGrid grid(sites);
+  gr::Xoshiro256StarStar gen(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(grid.nearest({gr::uniform01(gen), gr::uniform01(gen)}), 0u);
+  }
+}
+
+TEST(SpatialGrid, TwoSites) {
+  const std::vector<gg::Vec2> sites = {{0.25, 0.5}, {0.75, 0.5}};
+  gg::SpatialGrid grid(sites);
+  EXPECT_EQ(grid.nearest({0.3, 0.5}), 0u);
+  EXPECT_EQ(grid.nearest({0.7, 0.5}), 1u);
+  // On the wrap side, 0.05 is nearer to 0.25 but 0.95 is nearer to 0.75.
+  EXPECT_EQ(grid.nearest({0.05, 0.5}), 0u);
+  EXPECT_EQ(grid.nearest({0.95, 0.5}), 1u);
+}
+
+class GridNearestParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridNearestParam, MatchesBruteForce) {
+  const std::size_t n = GetParam();
+  const auto sites = random_sites(n, 2000 + n);
+  gg::SpatialGrid grid(sites);
+  gr::Xoshiro256StarStar gen(9999 + n);
+  for (int q = 0; q < 300; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    const auto got = grid.nearest(p);
+    const auto want = gg::brute_force_nearest(sites, p);
+    // Distances must agree exactly (indices may differ only on exact ties,
+    // which have probability zero for random sites).
+    ASSERT_DOUBLE_EQ(gg::torus_dist2(sites[got], p),
+                     gg::torus_dist2(sites[want], p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridNearestParam,
+                         ::testing::Values(1, 2, 3, 4, 10, 50, 333, 1024,
+                                           5000));
+
+TEST(SpatialGrid, NearestWithClusteredSites) {
+  // All sites in one tiny cluster; queries from far away must still work.
+  std::vector<gg::Vec2> sites;
+  gr::Xoshiro256StarStar gen(3);
+  for (int i = 0; i < 64; ++i) {
+    sites.push_back({0.5 + 0.001 * gr::uniform01(gen),
+                     0.5 + 0.001 * gr::uniform01(gen)});
+  }
+  gg::SpatialGrid grid(sites);
+  for (int q = 0; q < 100; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    ASSERT_EQ(grid.nearest(p), gg::brute_force_nearest(sites, p));
+  }
+}
+
+TEST(SpatialGrid, NearestAcrossWrapBoundary) {
+  // Sites hugging the corners; queries near the opposite corners.
+  const std::vector<gg::Vec2> sites = {
+      {0.001, 0.001}, {0.999, 0.999}, {0.001, 0.999}, {0.999, 0.001}};
+  gg::SpatialGrid grid(sites, 8);
+  gr::Xoshiro256StarStar gen(4);
+  for (int q = 0; q < 500; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    const auto got = grid.nearest(p);
+    const auto want = gg::brute_force_nearest(sites, p);
+    ASSERT_DOUBLE_EQ(gg::torus_dist2(sites[got], p),
+                     gg::torus_dist2(sites[want], p));
+  }
+}
+
+TEST(SpatialGrid, ForEachWithinFindsExactlyTheBall) {
+  const auto sites = random_sites(500, 5);
+  gg::SpatialGrid grid(sites);
+  gr::Xoshiro256StarStar gen(6);
+  for (int q = 0; q < 50; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    const double radius = 0.02 + 0.2 * gr::uniform01(gen);
+    std::set<std::uint32_t> got;
+    grid.for_each_within(p, radius, [&](std::uint32_t idx, double d2) {
+      ASSERT_LE(d2, radius * radius + 1e-15);
+      const bool inserted = got.insert(idx).second;
+      ASSERT_TRUE(inserted) << "site visited twice: " << idx;
+    });
+    std::set<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < sites.size(); ++i) {
+      if (gg::torus_dist(sites[i], p) <= radius) want.insert(i);
+    }
+    ASSERT_EQ(got, want) << "radius=" << radius;
+  }
+}
+
+TEST(SpatialGrid, ForEachWithinRespectsSkip) {
+  const auto sites = random_sites(100, 7);
+  gg::SpatialGrid grid(sites);
+  bool saw_skip = false;
+  grid.for_each_within(
+      sites[13], 1.0,
+      [&](std::uint32_t idx, double) { saw_skip |= (idx == 13); }, 13);
+  EXPECT_FALSE(saw_skip);
+}
+
+TEST(SpatialGrid, ForEachWithinFullRadiusSeesEveryone) {
+  const auto sites = random_sites(200, 8);
+  gg::SpatialGrid grid(sites);
+  std::size_t seen = 0;
+  grid.for_each_within({0.5, 0.5}, 1.0,
+                       [&](std::uint32_t, double) { ++seen; });
+  EXPECT_EQ(seen, sites.size());
+}
+
+TEST(SpatialGrid, NeighborsWithinSorted) {
+  const auto sites = random_sites(300, 9);
+  gg::SpatialGrid grid(sites);
+  const auto nbrs = grid.neighbors_within({0.4, 0.6}, 0.3);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) {
+    ASSERT_LE(nbrs[i - 1].dist2, nbrs[i].dist2);
+  }
+  EXPECT_FALSE(nbrs.empty());
+}
+
+TEST(SpatialGrid, ExplicitBucketCountIsMadeOdd) {
+  const auto sites = random_sites(50, 10);
+  gg::SpatialGrid grid(sites, 16);
+  EXPECT_EQ(grid.buckets_per_axis() % 2, 1u);
+  // And it still answers queries correctly.
+  gr::Xoshiro256StarStar gen(11);
+  for (int q = 0; q < 100; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    ASSERT_EQ(grid.nearest(p), gg::brute_force_nearest(sites, p));
+  }
+}
+
+TEST(SpatialGrid, SitesOnBucketBoundaries) {
+  std::vector<gg::Vec2> sites;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      sites.push_back({i / 5.0, j / 5.0});
+    }
+  }
+  gg::SpatialGrid grid(sites, 5);
+  gr::Xoshiro256StarStar gen(12);
+  for (int q = 0; q < 300; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    const auto got = grid.nearest(p);
+    const auto want = gg::brute_force_nearest(sites, p);
+    ASSERT_DOUBLE_EQ(gg::torus_dist2(sites[got], p),
+                     gg::torus_dist2(sites[want], p));
+  }
+}

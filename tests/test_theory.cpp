@@ -1,0 +1,156 @@
+// Tests for the analytic module: bounds, the Theorem 1 recursion, the
+// fluid-limit ODE, and the Poisson max-load approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+
+namespace th = geochoice::core::theory;
+
+TEST(Theory, LogLogBoundValues) {
+  EXPECT_NEAR(th::loglog_bound(std::exp(std::exp(1.0)), 2),
+              1.0 / std::log(2.0), 1e-12);
+  // Doubling d from 2 to 4 halves the bound.
+  const double n = 1e6;
+  EXPECT_NEAR(th::loglog_bound(n, 4), th::loglog_bound(n, 2) / 2.0, 1e-12);
+}
+
+TEST(Theory, LogLogGrowsVerySlowly) {
+  const double at_2_16 = th::loglog_bound(65536.0, 2);
+  const double at_2_24 = th::loglog_bound(16777216.0, 2);
+  EXPECT_LT(at_2_24 - at_2_16, 1.0);
+  EXPECT_GT(at_2_24, at_2_16);
+}
+
+TEST(Theory, SingleChoiceScales) {
+  // log n / log log n at n = 2^20 ~ 13.86 / 2.63 ~ 5.3
+  EXPECT_NEAR(th::single_choice_scale(1 << 20), 5.28, 0.05);
+  EXPECT_NEAR(th::single_choice_geometric_scale(std::exp(3.0)), 3.0, 1e-12);
+}
+
+TEST(Theory, ChernoffBoundDecays) {
+  EXPECT_NEAR(th::chernoff_double_mean(300.0, 0.01), std::exp(-1.0), 1e-12);
+  EXPECT_LT(th::chernoff_double_mean(1e6, 0.001),
+            th::chernoff_double_mean(1e3, 0.001));
+}
+
+TEST(Theory, ArcTailFormulas) {
+  EXPECT_NEAR(th::arc_tail_expectation(1000.0, 2.0),
+              1000.0 * std::exp(-2.0), 1e-9);
+  EXPECT_NEAR(th::arc_tail_bound(1000.0, 2.0),
+              2.0 * th::arc_tail_expectation(1000.0, 2.0), 1e-9);
+  // The negative-dependence bound (Lemma 4) beats the martingale bound
+  // (Lemma 5) for all meaningful c: e^{-ne^{-c}/3} < e^{-ne^{-2c}/8} when
+  // e^{-c}/3 > e^{-2c}/8, i.e. e^{c} > 3/8 — always for c >= 2.
+  for (double c = 2.0; c < 12.0; c += 1.0) {
+    EXPECT_LT(th::arc_tail_failure_prob(4096.0, c),
+              th::arc_tail_failure_prob_martingale(4096.0, c))
+        << c;
+  }
+}
+
+TEST(Theory, Lemma6Bound) {
+  // a = n/e maximizes a ln(n/a)... sanity at the endpoints of its range.
+  const double n = 65536.0;
+  const double small = th::largest_arcs_sum_bound(n, std::pow(std::log(n), 2));
+  const double large = th::largest_arcs_sum_bound(n, n / 64.0);
+  EXPECT_GT(small, 0.0);
+  EXPECT_LT(small, 1.0);
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 1.0);
+}
+
+TEST(Theory, VoronoiTailFormulas) {
+  EXPECT_NEAR(th::voronoi_tail_expectation(100.0, 6.0),
+              600.0 * std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(th::voronoi_tail_bound(100.0, 6.0),
+              2.0 * th::voronoi_tail_expectation(100.0, 6.0), 1e-9);
+}
+
+TEST(Theory, Theorem1StepMatchesFormula) {
+  const double n = 4096.0;
+  const double beta = n / 256.0;
+  const double p = 2.0 * (beta / n) * std::log(n / beta);
+  EXPECT_NEAR(th::theorem1_step(n, 2, beta), 2.0 * n * p * p, 1e-9);
+}
+
+TEST(Theory, RecursionDecreasesAndTerminates) {
+  for (int d = 2; d <= 4; ++d) {
+    const auto rec = th::theorem1_recursion(1 << 20, d);
+    // With large d the recursion can terminate immediately from the
+    // β = n/256 start (the i* = O(1) extra steps collapse to zero).
+    ASSERT_GE(rec.beta.size(), 1u) << d;
+    for (std::size_t i = 1; i < rec.beta.size(); ++i) {
+      EXPECT_LT(rec.beta[i], rec.beta[i - 1]) << "d=" << d << " i=" << i;
+    }
+    // Claim 10: the step count is log log n / log d + O(1); allow a wide
+    // constant band.
+    const double predicted = th::loglog_bound(1 << 20, d);
+    EXPECT_LE(rec.steps_to_terminate, predicted + 8.0) << d;
+  }
+  // d = 2 from β = n/256 needs at least one genuine step at this n.
+  EXPECT_GT(th::theorem1_recursion(1 << 20, 2).steps_to_terminate, 0);
+}
+
+TEST(Theory, RecursionStepsShrinkWithD) {
+  const auto d2 = th::theorem1_recursion(1 << 24, 2);
+  const auto d4 = th::theorem1_recursion(1 << 24, 4);
+  EXPECT_GE(d2.steps_to_terminate, d4.steps_to_terminate);
+}
+
+TEST(Theory, FluidLimitD1IsPoisson) {
+  // For d = 1 the ODE ds_i/dt = s_{i-1} - s_i solves to Poisson(t) tails:
+  // s_i(t) = P(Poisson(t) >= i).
+  const auto s = th::fluid_limit_tails(1, 1.0, 8);
+  double p = std::exp(-1.0);  // P(Poisson(1) = 0)
+  double cdf = p;
+  for (int i = 1; i <= 8; ++i) {
+    const double tail = 1.0 - cdf;  // P(X >= i)
+    EXPECT_NEAR(s[i], tail, 1e-6) << i;
+    p /= static_cast<double>(i);
+    cdf += p;
+  }
+}
+
+TEST(Theory, FluidLimitBasics) {
+  const auto s = th::fluid_limit_tails(2, 1.0, 10);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_LE(s[i], s[i - 1]) << i;
+    EXPECT_GE(s[i], 0.0) << i;
+  }
+  // Mass conservation: sum_i s_i = expected load = t = 1.
+  double total = 0.0;
+  for (int i = 1; i <= 10; ++i) total += s[i];
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Theory, FluidLimitTwoChoicesConcentrates) {
+  // With d = 2 the tail falls doubly exponentially: s_4 is already tiny,
+  // much smaller than for d = 1.
+  const auto s1 = th::fluid_limit_tails(1, 1.0, 6);
+  const auto s2 = th::fluid_limit_tails(2, 1.0, 6);
+  EXPECT_LT(s2[4], s1[4] / 10.0);
+  EXPECT_LT(s2[4], 1e-4);
+}
+
+TEST(Theory, FluidLimitZeroTime) {
+  const auto s = th::fluid_limit_tails(2, 0.0, 4);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  for (int i = 1; i <= 4; ++i) EXPECT_DOUBLE_EQ(s[i], 0.0);
+}
+
+TEST(Theory, PoissonMaxLoadCdfReasonable) {
+  // m = n: the max load for one choice at n = 2^16 concentrates around
+  // ~ 8-11; the CDF should be near 0 at k=4 and near 1 at k=20.
+  EXPECT_LT(th::poisson_max_load_cdf(65536.0, 65536.0, 4.0), 0.05);
+  EXPECT_GT(th::poisson_max_load_cdf(65536.0, 65536.0, 20.0), 0.95);
+  // Monotone in k.
+  double prev = 0.0;
+  for (double k = 1.0; k <= 20.0; k += 1.0) {
+    const double v = th::poisson_max_load_cdf(65536.0, 65536.0, k);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}

@@ -1,0 +1,197 @@
+// Tests for the D-dimensional torus generalization: VecD metric,
+// SpatialGridND nearest-neighbor correctness, TorusNdSpace process runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/process.hpp"
+#include "geometry/grid_nd.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "geometry/vecd.hpp"
+#include "geometry/voronoi.hpp"
+#include "rng/rng.hpp"
+#include "spaces/torus_nd_space.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+namespace gs = geochoice::spaces;
+namespace gc = geochoice::core;
+
+namespace {
+
+template <int D>
+std::vector<gg::VecD<D>> random_sites(std::size_t n, std::uint64_t seed) {
+  gr::DefaultEngine gen(seed);
+  std::vector<gg::VecD<D>> sites(n);
+  for (auto& s : sites) {
+    for (int d = 0; d < D; ++d) s.v[d] = gr::uniform01(gen);
+  }
+  return sites;
+}
+
+}  // namespace
+
+TEST(VecD, MetricBasics1D) {
+  gg::VecD<1> a{{0.1}}, b{{0.9}};
+  EXPECT_NEAR(gg::torus_dist(a, b), 0.2, 1e-12);  // wraps
+  EXPECT_DOUBLE_EQ(gg::torus_dist(a, a), 0.0);
+}
+
+TEST(VecD, MetricBasics3D) {
+  gg::VecD<3> a{{0.0, 0.0, 0.0}}, b{{0.5, 0.5, 0.5}};
+  EXPECT_NEAR(gg::torus_dist2(a, b), gg::torus_diameter2<3>(), 1e-12);
+  gg::VecD<3> c{{0.95, 0.95, 0.95}};
+  EXPECT_NEAR(gg::torus_dist2(a, c), 3 * 0.05 * 0.05, 1e-12);
+}
+
+TEST(VecD, WrapAllCoordinates) {
+  const auto w = gg::wrap01(gg::VecD<2>{{1.25, -0.5}});
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(VecD, SymmetryRandomized) {
+  gr::DefaultEngine gen(1);
+  for (int i = 0; i < 5000; ++i) {
+    gg::VecD<4> a, b;
+    for (int d = 0; d < 4; ++d) {
+      a.v[d] = gr::uniform01(gen);
+      b.v[d] = gr::uniform01(gen);
+    }
+    ASSERT_DOUBLE_EQ(gg::torus_dist2(a, b), gg::torus_dist2(b, a));
+    ASSERT_LE(gg::torus_dist2(a, b), gg::torus_diameter2<4>() + 1e-12);
+  }
+}
+
+template <typename T>
+class GridNDNearest : public ::testing::Test {};
+
+struct Dim1 { static constexpr int value = 1; };
+struct Dim2 { static constexpr int value = 2; };
+struct Dim3 { static constexpr int value = 3; };
+struct Dim4 { static constexpr int value = 4; };
+using Dims = ::testing::Types<Dim1, Dim2, Dim3, Dim4>;
+TYPED_TEST_SUITE(GridNDNearest, Dims);
+
+TYPED_TEST(GridNDNearest, MatchesBruteForce) {
+  constexpr int D = TypeParam::value;
+  for (std::size_t n : {1, 2, 7, 100, 1000}) {
+    const auto sites = random_sites<D>(n, 100 + n * D);
+    gg::SpatialGridND<D> grid(sites);
+    gr::DefaultEngine gen(7000 + n * D);
+    for (int q = 0; q < 150; ++q) {
+      gg::VecD<D> p;
+      for (int d = 0; d < D; ++d) p.v[d] = gr::uniform01(gen);
+      const auto got = grid.nearest(p);
+      const auto want = gg::brute_force_nearest<D>(sites, p);
+      ASSERT_DOUBLE_EQ(gg::torus_dist2(sites[got], p),
+                       gg::torus_dist2(sites[want], p))
+          << "D=" << D << " n=" << n;
+    }
+  }
+}
+
+TYPED_TEST(GridNDNearest, CornersAndWrap) {
+  constexpr int D = TypeParam::value;
+  // Sites hugging opposite corners; queries near both.
+  std::vector<gg::VecD<D>> sites(2);
+  for (int d = 0; d < D; ++d) {
+    sites[0].v[d] = 0.001;
+    sites[1].v[d] = 0.999;
+  }
+  gg::SpatialGridND<D> grid(sites, 9);
+  gg::VecD<D> q0, q1;
+  for (int d = 0; d < D; ++d) {
+    q0.v[d] = 0.002;
+    q1.v[d] = 0.998;
+  }
+  EXPECT_EQ(grid.nearest(q0), 0u);
+  EXPECT_EQ(grid.nearest(q1), 1u);
+  // The wrap: a query at the origin is closest to... both are equidistant
+  // by symmetry; just confirm it terminates and returns a valid index.
+  gg::VecD<D> origin{};
+  EXPECT_LT(grid.nearest(origin), 2u);
+}
+
+TEST(TorusNdSpace, ProcessConservation3D) {
+  gr::DefaultEngine gen(2);
+  const auto space = gs::TorusNdSpace<3>::random(256, gen);
+  gc::ProcessOptions opt;
+  opt.num_balls = 1024;
+  opt.num_choices = 2;
+  const auto r = gc::run_process(space, opt, gen);
+  std::uint64_t total = 0;
+  for (auto l : r.loads) total += l;
+  EXPECT_EQ(total, 1024u);
+}
+
+TEST(TorusNdSpace, TwoChoicesWorkInEveryDimension) {
+  // The paper's generalization claim: d = 2 keeps the max load ~ log log n
+  // in any constant dimension. Compare d=1 vs d=2 means in 3-D.
+  double mean1 = 0.0, mean2 = 0.0;
+  constexpr int kReps = 15;
+  const std::size_t n = 512;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto servers = gr::make_stream(55, rep, gr::StreamPurpose::kServerPlacement);
+    auto balls = gr::make_stream(55, rep, gr::StreamPurpose::kBallChoices);
+    const auto space = gs::TorusNdSpace<3>::random(n, servers);
+    gc::ProcessOptions o1, o2;
+    o1.num_balls = o2.num_balls = n;
+    o1.num_choices = 1;
+    o2.num_choices = 2;
+    auto balls2 = balls;
+    mean1 += gc::run_process(space, o1, balls).max_load;
+    mean2 += gc::run_process(space, o2, balls2).max_load;
+  }
+  EXPECT_GT(mean1 / kReps, mean2 / kReps + 0.8);
+  EXPECT_LE(mean2 / kReps, 4.5);
+}
+
+TEST(TorusNdSpace, EstimatedMeasuresSumToOne) {
+  gr::DefaultEngine gen(3);
+  auto space = gs::TorusNdSpace<2>::random(64, gen);
+  EXPECT_FALSE(space.has_measures());
+  space.estimate_measures(50000, gen);
+  ASSERT_TRUE(space.has_measures());
+  double total = 0.0;
+  for (gs::BinIndex i = 0; i < space.bin_count(); ++i) {
+    total += space.region_measure(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TorusNdSpace, EstimatedMeasuresMatchExactIn2D) {
+  // Cross-check the Monte-Carlo estimator against the exact 2-D Voronoi
+  // areas on the same sites.
+  gr::DefaultEngine gen(4);
+  std::vector<gg::VecD<2>> sites_nd(32);
+  std::vector<gg::Vec2> sites_2d(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double x = gr::uniform01(gen), y = gr::uniform01(gen);
+    sites_nd[i] = {{x, y}};
+    sites_2d[i] = {x, y};
+  }
+  auto space = gs::TorusNdSpace<2>(sites_nd);
+  space.estimate_measures(200000, gen);
+  const gg::SpatialGrid grid(sites_2d);
+  const auto exact = gg::voronoi_areas(grid);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(space.region_measure(static_cast<gs::BinIndex>(i)), exact[i],
+                0.01)
+        << i;
+  }
+}
+
+TEST(TorusNdSpace, SmallerRegionTieWithEstimatedMeasures) {
+  gr::DefaultEngine gen(5);
+  auto space = gs::TorusNdSpace<3>::random(128, gen);
+  space.estimate_measures(100000, gen);
+  gc::ProcessOptions opt;
+  opt.num_balls = 512;
+  opt.num_choices = 2;
+  opt.tie = gc::TieBreak::kSmallerRegion;
+  const auto r = gc::run_process(space, opt, gen);
+  std::uint64_t total = 0;
+  for (auto l : r.loads) total += l;
+  EXPECT_EQ(total, 512u);
+}

@@ -1,0 +1,142 @@
+// Tests for exact torus Voronoi cells: partition-of-unity, agreement with
+// nearest-neighbor ownership, degenerate configurations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "geometry/voronoi.hpp"
+#include "rng/rng.hpp"
+
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+
+namespace {
+
+std::vector<gg::Vec2> random_sites(std::size_t n, std::uint64_t seed) {
+  gr::Xoshiro256StarStar gen(seed);
+  std::vector<gg::Vec2> sites(n);
+  for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+  return sites;
+}
+
+}  // namespace
+
+TEST(Voronoi, SingleSiteCellIsWholeTorus) {
+  const std::vector<gg::Vec2> sites = {{0.4, 0.6}};
+  gg::SpatialGrid grid(sites);
+  const auto cell = gg::voronoi_cell(grid, 0);
+  EXPECT_NEAR(cell.area(), 1.0, 1e-12);
+}
+
+TEST(Voronoi, TwoSitesSplitTheTorus) {
+  const std::vector<gg::Vec2> sites = {{0.25, 0.5}, {0.75, 0.5}};
+  gg::SpatialGrid grid(sites);
+  const auto c0 = gg::voronoi_cell(grid, 0);
+  const auto c1 = gg::voronoi_cell(grid, 1);
+  // By symmetry each owns half: vertical bands of width 1/2.
+  EXPECT_NEAR(c0.area(), 0.5, 1e-12);
+  EXPECT_NEAR(c1.area(), 0.5, 1e-12);
+}
+
+TEST(Voronoi, GridOfSitesGivesEqualSquares) {
+  std::vector<gg::Vec2> sites;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      sites.push_back({i / 4.0, j / 4.0});
+    }
+  }
+  gg::SpatialGrid grid(sites);
+  for (std::uint32_t s = 0; s < sites.size(); ++s) {
+    EXPECT_NEAR(gg::voronoi_cell(grid, s).area(), 1.0 / 16.0, 1e-12) << s;
+  }
+}
+
+class VoronoiAreaParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VoronoiAreaParam, AreasArePositiveAndSumToOne) {
+  const std::size_t n = GetParam();
+  const auto sites = random_sites(n, 40 + n);
+  gg::SpatialGrid grid(sites);
+  const auto areas = gg::voronoi_areas(grid);
+  ASSERT_EQ(areas.size(), n);
+  double total = 0.0;
+  for (double a : areas) {
+    ASSERT_GT(a, 0.0);
+    total += a;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VoronoiAreaParam,
+                         ::testing::Values(1, 2, 3, 5, 16, 100, 777, 4096));
+
+TEST(Voronoi, CellContainsItsSite) {
+  const auto sites = random_sites(200, 50);
+  gg::SpatialGrid grid(sites);
+  for (std::uint32_t s = 0; s < sites.size(); ++s) {
+    const auto cell = gg::voronoi_cell(grid, s);
+    // Site-local coordinates: the site is the origin.
+    ASSERT_TRUE(cell.contains({0.0, 0.0})) << s;
+  }
+}
+
+TEST(Voronoi, MembershipAgreesWithNearestNeighbor) {
+  // A random point lies in the cell polygon of exactly the site the grid
+  // reports as nearest.
+  const auto sites = random_sites(128, 51);
+  gg::SpatialGrid grid(sites);
+  std::vector<gg::ConvexPolygon> cells;
+  cells.reserve(sites.size());
+  for (std::uint32_t s = 0; s < sites.size(); ++s) {
+    cells.push_back(gg::voronoi_cell(grid, s));
+  }
+  gr::Xoshiro256StarStar gen(52);
+  for (int q = 0; q < 2000; ++q) {
+    const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+    const auto owner = grid.nearest(p);
+    const gg::Vec2 local = gg::torus_delta(p, sites[owner]);
+    ASSERT_TRUE(cells[owner].contains(local, 1e-9))
+        << "point not in its owner cell, q=" << q;
+  }
+}
+
+TEST(Voronoi, AreasMatchEmpiricalOwnershipFrequency) {
+  const auto sites = random_sites(32, 53);
+  gg::SpatialGrid grid(sites);
+  const auto areas = gg::voronoi_areas(grid);
+  gr::Xoshiro256StarStar gen(54);
+  std::vector<int> hits(sites.size(), 0);
+  constexpr int kQ = 200000;
+  for (int q = 0; q < kQ; ++q) {
+    ++hits[grid.nearest({gr::uniform01(gen), gr::uniform01(gen)})];
+  }
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const double freq = hits[s] / static_cast<double>(kQ);
+    EXPECT_NEAR(freq, areas[s], 0.01) << s;
+  }
+}
+
+TEST(Voronoi, CountCellsAtLeast) {
+  const std::vector<double> areas = {0.1, 0.5, 0.2, 0.2};
+  EXPECT_EQ(gg::count_cells_at_least(areas, 0.2), 3u);
+  EXPECT_EQ(gg::count_cells_at_least(areas, 0.6), 0u);
+  EXPECT_EQ(gg::count_cells_at_least(areas, 0.0), 4u);
+}
+
+TEST(Voronoi, CollinearSitesProduceBands) {
+  // Sites along a horizontal line: cells are vertical bands.
+  const std::vector<gg::Vec2> sites = {
+      {0.0, 0.5}, {0.2, 0.5}, {0.5, 0.5}, {0.7, 0.5}};
+  gg::SpatialGrid grid(sites);
+  const auto areas = gg::voronoi_areas(grid);
+  const double total = std::accumulate(areas.begin(), areas.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Band widths: midpoints at 0.1, 0.35, 0.6, 0.85 (wrapping).
+  EXPECT_NEAR(areas[0], 0.25, 1e-9);   // (0.85..1)+(0..0.1) = 0.25
+  EXPECT_NEAR(areas[1], 0.25, 1e-9);   // 0.1..0.35
+  EXPECT_NEAR(areas[2], 0.25, 1e-9);   // 0.35..0.6
+  EXPECT_NEAR(areas[3], 0.25, 1e-9);   // 0.6..0.85
+}
