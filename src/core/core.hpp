@@ -3,6 +3,7 @@
 // result types, and the paper's analytic bounds.
 #pragma once
 
+#include "core/batch_process.hpp"  // IWYU pragma: export
 #include "core/process.hpp"       // IWYU pragma: export
 #include "core/result.hpp"        // IWYU pragma: export
 #include "core/supermarket.hpp"   // IWYU pragma: export

@@ -19,6 +19,63 @@ std::size_t ring_owner(std::span<const double> sorted_positions,
   return static_cast<std::size_t>(it - sorted_positions.begin()) - 1;
 }
 
+namespace {
+
+// Lockstep width: enough independent search chains to saturate the
+// load/miss parallelism of current cores without spilling the base-index
+// array out of registers/L1.
+constexpr std::size_t kLockstep = 16;
+
+// One branchless upper-bound step for a group of `g` queries. `half` is the
+// probe offset for the current level; bases advance by cmov, never branch.
+inline void lockstep_level(const double* pos, const double* xs,
+                           std::size_t* base, std::size_t g, std::size_t half,
+                           std::size_t next_half) noexcept {
+  for (std::size_t i = 0; i < g; ++i) {
+    const std::size_t cand = base[i] + half;
+    base[i] = pos[cand] <= xs[i] ? cand : base[i];
+    // Both possible probes of the next level are known now; prefetching
+    // them hides the dependent-load latency of the following iteration.
+    if (next_half != 0) {
+      __builtin_prefetch(pos + base[i] + next_half);
+    }
+  }
+}
+
+}  // namespace
+
+void ring_owner_batch(std::span<const double> sorted_positions,
+                      std::span<const double> xs,
+                      std::span<std::uint32_t> out) noexcept {
+  assert(!sorted_positions.empty());
+  assert(xs.size() == out.size());
+  const double* pos = sorted_positions.data();
+  const std::size_t n = sorted_positions.size();
+  const std::uint32_t last = static_cast<std::uint32_t>(n - 1);
+
+  std::size_t q = 0;
+  while (q < xs.size()) {
+    const std::size_t g = std::min(kLockstep, xs.size() - q);
+    std::size_t base[kLockstep] = {};
+    const double* x = xs.data() + q;
+    // Invariant: the greatest index with pos[idx] <= x lies in
+    // [base, base + len) (when it exists; x < pos[0] resolves below).
+    std::size_t len = n;
+    while (len > 1) {
+      const std::size_t half = len >> 1;
+      const std::size_t rem = len - half;
+      lockstep_level(pos, x, base, g, half, rem > 1 ? rem >> 1 : 0);
+      len = rem;
+    }
+    for (std::size_t i = 0; i < g; ++i) {
+      // base==0 with pos[0] > x means x precedes every server: wrap.
+      out[q + i] = pos[base[i]] <= x[i] ? static_cast<std::uint32_t>(base[i])
+                                        : last;
+    }
+    q += g;
+  }
+}
+
 std::vector<double> arc_lengths(std::span<const double> sorted_positions) {
   const std::size_t n = sorted_positions.size();
   std::vector<double> arcs(n);

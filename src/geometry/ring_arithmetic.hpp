@@ -33,6 +33,16 @@ namespace geochoice::geometry {
 [[nodiscard]] std::size_t ring_owner(std::span<const double> sorted_positions,
                                      double x) noexcept;
 
+/// Batched owner resolution: `out[i] = ring_owner(sorted_positions, xs[i])`
+/// for every query, but computed as branchless (cmov) binary searches run
+/// in lockstep groups with software prefetch of the next probe level. The
+/// group's independent loads overlap in the memory system, so throughput is
+/// several times the one-query-at-a-time search on position arrays that
+/// spill out of L1/L2. Requires xs.size() == out.size().
+void ring_owner_batch(std::span<const double> sorted_positions,
+                      std::span<const double> xs,
+                      std::span<std::uint32_t> out) noexcept;
+
 /// Arc lengths induced by *sorted* positions: `result[i]` is the length of
 /// [pos_i, pos_{i+1}) with wraparound. Lengths sum to exactly ~1.
 [[nodiscard]] std::vector<double> arc_lengths(

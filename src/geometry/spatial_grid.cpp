@@ -89,6 +89,65 @@ double SpatialGrid::nearest_dist2(Vec2 q) const noexcept {
   return torus_dist2(sites_[nearest(q)], q);
 }
 
+void SpatialGrid::nearest_batch(std::span<const Vec2> qs,
+                                std::span<std::uint32_t> out,
+                                BatchScratch* scratch) const {
+  assert(qs.size() == out.size());
+  const std::size_t m = qs.size();
+  if (m == 0) return;
+
+  // Bucket-sorting a block only pays when (a) the grid's resident
+  // footprint exceeds cache, so locality matters at all, and (b) the block
+  // is dense enough relative to the bucket count that sorted neighbors
+  // actually share ring neighborhoods. Otherwise the sort is pure
+  // overhead; resolve in arrival order with the next queries' bucket rows
+  // prefetched ahead instead.
+  const std::size_t buckets = static_cast<std::size_t>(k_) * k_;
+  const std::size_t footprint = sites_.size() * sizeof(Vec2) +
+                                start_.size() * sizeof(std::uint32_t) +
+                                order_.size() * sizeof(std::uint32_t);
+  const bool sort_pays = footprint > (std::size_t{256} << 10) &&
+                         m >= buckets / 8;
+  if (!sort_pays) {
+    constexpr std::size_t kAhead = 8;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i + kAhead < m) {
+        const Vec2 p = qs[i + kAhead];
+        const std::size_t b =
+            bucket_of(p.x) + bucket_of(p.y) * static_cast<std::size_t>(k_);
+        __builtin_prefetch(start_.data() + b);
+      }
+      out[i] = nearest(qs[i]);
+    }
+    return;
+  }
+
+  // Key each query by its home bucket and sort; queries sharing a bucket
+  // neighborhood then resolve back-to-back, so the CSR rows and site
+  // coordinates touched by one neighborhood are reused by the next query
+  // instead of being evicted between them.
+  BatchScratch local;
+  BatchScratch& s = scratch ? *scratch : local;
+  s.keyed.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t b =
+        bucket_of(qs[i].x) + bucket_of(qs[i].y) * static_cast<std::uint64_t>(k_);
+    s.keyed[i] = (b << 32) | i;
+  }
+  std::sort(s.keyed.begin(), s.keyed.end());
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t qi = static_cast<std::uint32_t>(s.keyed[i]);
+    // Pull the next query's bucket row in early; resolving the current one
+    // gives the prefetch time to land.
+    if (i + 1 < m) {
+      const std::size_t nb = s.keyed[i + 1] >> 32;
+      __builtin_prefetch(start_.data() + nb);
+    }
+    out[qi] = nearest(qs[qi]);
+  }
+}
+
 std::vector<SpatialGrid::Neighbor> SpatialGrid::neighbors_within(
     Vec2 q, double radius, std::uint32_t skip) const {
   std::vector<Neighbor> out;

@@ -44,6 +44,20 @@ class SpatialGrid {
   /// Distance-squared to the nearest site.
   [[nodiscard]] double nearest_dist2(Vec2 q) const noexcept;
 
+  /// Reusable scratch for nearest_batch (avoids per-block allocations when
+  /// the batched process resolves millions of blocks).
+  struct BatchScratch {
+    std::vector<std::uint64_t> keyed;  // (bucket << 32 | query index)
+  };
+
+  /// Batched nearest-site resolution: `out[i] = nearest(qs[i])` for every
+  /// query, resolved in bucket order rather than arrival order. Sorting the
+  /// block by home bucket means consecutive lookups walk the same bucket
+  /// neighborhood, so the CSR rows and site coordinates stay hot in cache.
+  /// Requires qs.size() == out.size().
+  void nearest_batch(std::span<const Vec2> qs, std::span<std::uint32_t> out,
+                     BatchScratch* scratch = nullptr) const;
+
   /// Invoke `fn(site_index, dist2)` for every site within torus distance
   /// `radius` of `q` (inclusive). Visits each site exactly once; order is
   /// unspecified. `skip` (if not UINT32_MAX) is excluded — callers pass the
@@ -55,6 +69,18 @@ class SpatialGrid {
     // Enough rings to cover `radius` plus one safety ring for bucket
     // granularity; never more than covers the whole torus.
     const std::uint32_t max_ring = ring_cover(radius);
+    // A ring that wraps past half the grid would revisit buckets, and
+    // visit_ring skips such rings entirely — which would silently drop
+    // sites. On small grids (2·max_ring >= k) just scan everything; the
+    // whole grid is at most a few buckets there anyway.
+    if (2 * static_cast<std::uint64_t>(max_ring) >= k_) {
+      for (std::uint32_t idx = 0; idx < sites_.size(); ++idx) {
+        if (idx == skip) continue;
+        const double d2 = torus_dist2(sites_[idx], q);
+        if (d2 <= r2) fn(idx, d2);
+      }
+      return;
+    }
     for (std::uint32_t ring = 0; ring <= max_ring; ++ring) {
       visit_ring(q, ring, [&](std::uint32_t idx) {
         if (idx == skip) return;

@@ -8,13 +8,15 @@
 
 namespace geochoice::parallel {
 
-/// Invoke `fn(i)` for every i in [begin, end), partitioned into contiguous
-/// blocks across the pool. Blocks are sized for ~4 blocks per worker to
-/// amortize queue overhead while keeping the tail balanced. `fn` must be
-/// safe to call concurrently for distinct i.
+/// Invoke `fn(lo, hi)` once per contiguous block of [begin, end), blocks
+/// distributed across the pool. Blocks are sized for ~4 blocks per worker
+/// to amortize queue overhead while keeping the tail balanced. Use this
+/// form when per-task setup is expensive (scratch buffers, engines): the
+/// callee pays it once per block instead of once per index. `fn` must be
+/// safe to call concurrently for distinct blocks.
 template <typename Fn>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  Fn&& fn) {
+void parallel_for_blocks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         Fn&& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t workers = pool.thread_count();
@@ -22,11 +24,20 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t block = std::max<std::size_t>(1, (n + blocks - 1) / blocks);
   for (std::size_t lo = begin; lo < end; lo += block) {
     const std::size_t hi = std::min(end, lo + block);
-    pool.submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+    pool.submit([lo, hi, &fn] { fn(lo, hi); });
   }
   pool.wait();
+}
+
+/// Invoke `fn(i)` for every i in [begin, end), partitioned into contiguous
+/// blocks across the pool. `fn` must be safe to call concurrently for
+/// distinct i.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  parallel_for_blocks(pool, begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
 }
 
 /// Single-use convenience overload that creates a transient pool.

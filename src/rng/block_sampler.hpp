@@ -1,0 +1,63 @@
+// block_sampler.hpp — bulk variate generation for the batched process.
+//
+// The scalar d-choice loop interleaves RNG draws with owner lookups and
+// load reads, so the engine state keeps round-tripping through the stack.
+// The batched engine instead fills a contiguous buffer per block in one
+// tight loop: the 256-bit xoshiro state stays in registers for the whole
+// fill, and downstream passes consume plain arrays.
+//
+// Every fill_* function consumes the engine in exactly the same order as
+// the equivalent sequence of scalar draws (one uniform01 per element, in
+// element order). That guarantee is what lets the batched process share a
+// location stream with — and reproduce bit-identically — the scalar one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rng/distributions.hpp"
+
+namespace geochoice::rng {
+
+/// Fill `out` with uniform doubles in [0, 1). Draw-for-draw identical to
+/// calling uniform01(gen) once per element.
+template <Engine64 G>
+void fill_uniform01(G& gen, std::span<double> out) noexcept {
+  for (auto& v : out) v = uniform01(gen);
+}
+
+/// Fill `out` with uniform 2-D points (any aggregate with x/y doubles,
+/// e.g. geometry::Vec2); element i consumes the same two draws (x then y)
+/// as TorusSpace::sample.
+template <typename P, Engine64 G>
+void fill_uniform_2d(G& gen, std::span<P> out) noexcept {
+  for (auto& p : out) {
+    const double x = uniform01(gen);
+    const double y = uniform01(gen);
+    p = P{x, y};
+  }
+}
+
+/// Fill `out` (any integral element type wide enough for n-1) with uniform
+/// integers in [0, n). Element order matches repeated uniform_below(gen, n)
+/// calls (including Lemire rejections).
+template <typename Int, Engine64 G>
+void fill_uniform_below(G& gen, std::uint64_t n,
+                        std::span<Int> out) noexcept {
+  for (auto& v : out) v = static_cast<Int>(uniform_below(gen, n));
+}
+
+/// Fill ring locations for the partitioned (Vöcking) scheme: element i is
+/// probe j = i % d of its ball and lands uniformly in the j-th of d equal
+/// sub-intervals. Matches detail::sample_choice's draw order exactly.
+template <Engine64 G>
+void fill_partitioned_ring(G& gen, int d, std::span<double> out) noexcept {
+  const double dd = static_cast<double>(d);
+  int j = 0;
+  for (auto& v : out) {
+    v = (static_cast<double>(j) + uniform01(gen)) / dd;
+    j = (j + 1 == d) ? 0 : j + 1;
+  }
+}
+
+}  // namespace geochoice::rng

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "rng/alias_table.hpp"      // IWYU pragma: export
+#include "rng/block_sampler.hpp"    // IWYU pragma: export
 #include "rng/distributions.hpp"    // IWYU pragma: export
 #include "rng/philox.hpp"           // IWYU pragma: export
 #include "rng/splitmix64.hpp"       // IWYU pragma: export

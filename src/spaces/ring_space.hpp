@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "geometry/ring_arithmetic.hpp"
+#include "rng/block_sampler.hpp"
 #include "rng/distributions.hpp"
 #include "spaces/space.hpp"
 
@@ -40,8 +41,22 @@ class RingSpace {
     return rng::uniform01(gen);
   }
 
+  /// Bulk sample: one tight fill loop, draw-for-draw identical to calling
+  /// sample() once per element (the batched engine's fast path).
+  void sample_block(rng::DefaultEngine& gen,
+                    std::span<Location> out) const noexcept {
+    rng::fill_uniform01(gen, out);
+  }
+
   [[nodiscard]] BinIndex owner(Location x) const noexcept {
     return static_cast<BinIndex>(geometry::ring_owner(positions_, x));
+  }
+
+  /// Bulk owner lookup: lockstep branchless binary search with prefetch;
+  /// result i equals owner(xs[i]).
+  void owner_batch(std::span<const Location> xs,
+                   std::span<BinIndex> out) const noexcept {
+    geometry::ring_owner_batch(positions_, xs, out);
   }
 
   /// Arc length of bin `i` — its selection probability.

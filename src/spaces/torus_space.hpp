@@ -15,6 +15,7 @@
 #include "geometry/point.hpp"
 #include "geometry/spatial_grid.hpp"
 #include "geometry/voronoi.hpp"
+#include "rng/block_sampler.hpp"
 #include "rng/distributions.hpp"
 #include "spaces/space.hpp"
 
@@ -38,8 +39,22 @@ class TorusSpace {
     return {rng::uniform01(gen), rng::uniform01(gen)};
   }
 
+  /// Bulk sample: draw-for-draw identical to calling sample() per element.
+  void sample_block(rng::DefaultEngine& gen,
+                    std::span<Location> out) const noexcept {
+    rng::fill_uniform_2d(gen, out);
+  }
+
   [[nodiscard]] BinIndex owner(Location p) const noexcept {
     return grid_.nearest(p);
+  }
+
+  /// Bulk owner lookup via the grid's bucket-local batch resolver; result i
+  /// equals owner(ps[i]).
+  void owner_batch(std::span<const Location> ps, std::span<BinIndex> out,
+                   geometry::SpatialGrid::BatchScratch* scratch =
+                       nullptr) const {
+    grid_.nearest_batch(ps, out, scratch);
   }
 
   /// Exact Voronoi area of bin `i`. Requires ensure_measures() first;

@@ -1,0 +1,215 @@
+// Tests for the batched d-choice engine: exact equivalence against the
+// scalar oracle under deterministic tie-breaks (shared location stream),
+// batched primitive correctness (ring_owner_batch, nearest_batch),
+// statistical agreement for the randomized tie-break, and thread-count
+// invariance of the batched Monte-Carlo entry point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/core.hpp"
+#include "geometry/ring_arithmetic.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "rng/rng.hpp"
+#include "spaces/spaces.hpp"
+
+namespace gc = geochoice::core;
+namespace gg = geochoice::geometry;
+namespace gr = geochoice::rng;
+namespace gs = geochoice::spaces;
+
+namespace {
+
+gc::ProcessOptions opts(std::uint64_t m, int d, gc::TieBreak tie) {
+  gc::ProcessOptions o;
+  o.num_balls = m;
+  o.num_choices = d;
+  o.tie = tie;
+  return o;
+}
+
+/// Scalar and batched runs from identical engine states must produce
+/// bit-identical loads for deterministic tie-breaks.
+template <typename Space>
+void expect_exact_equivalence(const Space& space, const gc::ProcessOptions& o,
+                              std::uint64_t seed, std::size_t block_size) {
+  gr::DefaultEngine scalar_gen(seed);
+  gr::DefaultEngine batch_gen(seed);
+  const auto scalar = gc::run_process(space, o, scalar_gen);
+  gc::BatchOptions b;
+  b.block_size = block_size;
+  const auto batched = gc::run_batch_process(space, o, batch_gen, b);
+  EXPECT_EQ(scalar.loads, batched.loads);
+  EXPECT_EQ(scalar.max_load, batched.max_load);
+  EXPECT_EQ(scalar.balls, batched.balls);
+}
+
+}  // namespace
+
+TEST(BatchProcess, RejectsBadArguments) {
+  gr::DefaultEngine gen(1);
+  const gs::UniformSpace space(8);
+  EXPECT_THROW((void)gc::run_batch_process(
+                   space, opts(10, 0, gc::TieBreak::kFirstChoice), gen),
+               std::invalid_argument);
+  gc::ProcessOptions o = opts(10, 2, gc::TieBreak::kFirstChoice);
+  o.scheme = gc::ChoiceScheme::kPartitioned;
+  EXPECT_THROW((void)gc::run_batch_process(space, o, gen),
+               std::invalid_argument);
+}
+
+TEST(BatchProcess, ExactEquivalenceRing) {
+  gr::DefaultEngine setup(7);
+  const auto space = gs::RingSpace::random(512, setup);
+  for (const auto tie : {gc::TieBreak::kFirstChoice, gc::TieBreak::kLowestIndex,
+                         gc::TieBreak::kSmallerRegion,
+                         gc::TieBreak::kLargerRegion}) {
+    for (const int d : {1, 2, 4}) {
+      expect_exact_equivalence(space, opts(2048, d, tie), 99, 256);
+    }
+  }
+}
+
+TEST(BatchProcess, ExactEquivalenceRingPartitioned) {
+  gr::DefaultEngine setup(8);
+  const auto space = gs::RingSpace::random(256, setup);
+  gc::ProcessOptions o = opts(1024, 2, gc::TieBreak::kFirstChoice);
+  o.scheme = gc::ChoiceScheme::kPartitioned;
+  expect_exact_equivalence(space, o, 55, 128);
+}
+
+TEST(BatchProcess, ExactEquivalenceTorus) {
+  gr::DefaultEngine setup(9);
+  const auto space = gs::TorusSpace::random(256, setup);
+  for (const auto tie :
+       {gc::TieBreak::kFirstChoice, gc::TieBreak::kLowestIndex}) {
+    expect_exact_equivalence(space, opts(1024, 2, tie), 1234, 200);
+  }
+}
+
+TEST(BatchProcess, ExactEquivalenceUniform) {
+  const gs::UniformSpace space(333);
+  for (const auto tie :
+       {gc::TieBreak::kFirstChoice, gc::TieBreak::kLowestIndex}) {
+    expect_exact_equivalence(space, opts(999, 3, tie), 4321, 100);
+  }
+}
+
+TEST(BatchProcess, BlockSizeDoesNotChangeDeterministicResults) {
+  gr::DefaultEngine setup(10);
+  const auto space = gs::RingSpace::random(128, setup);
+  const auto o = opts(1000, 2, gc::TieBreak::kFirstChoice);
+  std::vector<std::uint32_t> reference;
+  for (const std::size_t block : {1u, 7u, 64u, 1000u, 4096u}) {
+    gr::DefaultEngine gen(42);
+    gc::BatchOptions b;
+    b.block_size = block;
+    const auto r = gc::run_batch_process(space, o, gen, b);
+    if (reference.empty()) {
+      reference = r.loads;
+    } else {
+      EXPECT_EQ(reference, r.loads) << "block_size=" << block;
+    }
+  }
+}
+
+TEST(BatchProcess, ConservesBallsAndRecordsHeights) {
+  gr::DefaultEngine setup(11);
+  const auto space = gs::RingSpace::random(64, setup);
+  gc::ProcessOptions o = opts(500, 2, gc::TieBreak::kRandom);
+  o.record_heights = true;
+  gr::DefaultEngine gen(3);
+  const auto r = gc::run_batch_process(space, o, gen);
+  const auto total =
+      std::accumulate(r.loads.begin(), r.loads.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 500u);
+  EXPECT_EQ(r.heights.total(), 500u);
+  EXPECT_EQ(r.heights.max_value(), r.max_load);
+}
+
+TEST(BatchProcess, RandomTieBreakStatisticallyMatchesScalar) {
+  // kRandom draws tie randomness in a different stream order than the
+  // scalar loop, so exact equality is not expected; the max-load
+  // distribution over trials must agree closely though.
+  gr::DefaultEngine setup(12);
+  const auto space = gs::UniformSpace(256);
+  const auto o = opts(256, 2, gc::TieBreak::kRandom);
+  const std::uint64_t trials = 300;
+  double scalar_mean = 0.0;
+  double batch_mean = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto g1 = gr::make_trial_engine(777, t);
+    auto g2 = gr::make_trial_engine(777, t);
+    scalar_mean += gc::run_process(space, o, g1).max_load;
+    batch_mean += gc::run_batch_process(space, o, g2).max_load;
+  }
+  scalar_mean /= static_cast<double>(trials);
+  batch_mean /= static_cast<double>(trials);
+  // Max loads here live in a tight band (~2..4); means beyond 0.25 apart
+  // would signal a real distributional bug, not noise.
+  EXPECT_NEAR(scalar_mean, batch_mean, 0.25);
+}
+
+TEST(BatchProcess, RunBatchTrialsThreadCountInvariant) {
+  gr::DefaultEngine setup(13);
+  const auto space = gs::RingSpace::random(128, setup);
+  const auto o = opts(512, 2, gc::TieBreak::kRandom);
+  const auto one = gc::run_batch_trials(space, o, 24, 2024, 1);
+  const auto four = gc::run_batch_trials(space, o, 24, 2024, 4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t t = 0; t < one.size(); ++t) {
+    EXPECT_EQ(one[t].loads, four[t].loads) << "trial " << t;
+    EXPECT_EQ(one[t].max_load, four[t].max_load) << "trial " << t;
+  }
+}
+
+TEST(BatchProcess, RunBatchTrialsMatchesScalarTrialsDeterministicTie) {
+  // With a deterministic tie-break the batched sweep must reproduce the
+  // scalar per-trial results exactly (same trial-engine derivation).
+  gr::DefaultEngine setup(14);
+  const auto space = gs::RingSpace::random(64, setup);
+  const auto o = opts(256, 2, gc::TieBreak::kLowestIndex);
+  const auto batched = gc::run_batch_trials(space, o, 16, 31337, 0);
+  for (std::size_t t = 0; t < batched.size(); ++t) {
+    auto gen = gr::make_trial_engine(31337, t);
+    const auto scalar = gc::run_process(space, o, gen);
+    EXPECT_EQ(scalar.loads, batched[t].loads) << "trial " << t;
+  }
+}
+
+TEST(RingOwnerBatch, MatchesScalarOwner) {
+  gr::DefaultEngine gen(15);
+  for (const std::size_t n : {1u, 2u, 3u, 17u, 256u, 1000u}) {
+    const auto space = gs::RingSpace::random(n, gen);
+    std::vector<double> xs(513);
+    for (auto& x : xs) x = gr::uniform01(gen);
+    // Include the exact server positions and the wrap region as edge cases.
+    xs.push_back(space.positions().front());
+    xs.push_back(space.positions().back());
+    xs.push_back(0.0);
+    std::vector<std::uint32_t> got(xs.size());
+    gg::ring_owner_batch(space.positions(), xs, got);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(got[i], space.owner(xs[i])) << "n=" << n << " x=" << xs[i];
+    }
+  }
+}
+
+TEST(NearestBatch, MatchesScalarNearest) {
+  gr::DefaultEngine gen(16);
+  for (const std::size_t n : {1u, 5u, 64u, 500u}) {
+    std::vector<gg::Vec2> sites(n);
+    for (auto& s : sites) s = {gr::uniform01(gen), gr::uniform01(gen)};
+    const gg::SpatialGrid grid(sites);
+    std::vector<gg::Vec2> qs(257);
+    for (auto& q : qs) q = {gr::uniform01(gen), gr::uniform01(gen)};
+    std::vector<std::uint32_t> got(qs.size());
+    gg::SpatialGrid::BatchScratch scratch;
+    grid.nearest_batch(qs, got, &scratch);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(got[i], grid.nearest(qs[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}

@@ -134,6 +134,33 @@ TEST(SpatialGrid, ForEachWithinFullRadiusSeesEveryone) {
   EXPECT_EQ(seen, sites.size());
 }
 
+TEST(SpatialGrid, ForEachWithinNeverDropsSitesOnTinyGrids) {
+  // Regression: when a requested ring would wrap past half the grid, the
+  // ring walk used to skip it and silently drop sites. Tiny grids with
+  // radii near the torus diameter are exactly where every ring wraps; the
+  // query must fall back to a full scan and still see every site in range.
+  for (const std::uint32_t k : {1u, 2u, 3u, 5u}) {
+    for (const std::size_t n : {1u, 7u, 40u}) {
+      const auto sites = random_sites(n, 80 + k + n);
+      gg::SpatialGrid grid(sites, k);
+      gr::Xoshiro256StarStar gen(90 + k + n);
+      for (int q = 0; q < 30; ++q) {
+        const gg::Vec2 p{gr::uniform01(gen), gr::uniform01(gen)};
+        const double radius = 0.3 + 0.5 * gr::uniform01(gen);
+        std::set<std::uint32_t> got;
+        grid.for_each_within(p, radius, [&](std::uint32_t idx, double) {
+          ASSERT_TRUE(got.insert(idx).second) << "site visited twice";
+        });
+        std::set<std::uint32_t> want;
+        for (std::uint32_t i = 0; i < sites.size(); ++i) {
+          if (gg::torus_dist(sites[i], p) <= radius) want.insert(i);
+        }
+        ASSERT_EQ(got, want) << "k=" << k << " n=" << n << " r=" << radius;
+      }
+    }
+  }
+}
+
 TEST(SpatialGrid, NeighborsWithinSorted) {
   const auto sites = random_sites(300, 9);
   gg::SpatialGrid grid(sites);
