@@ -6,9 +6,12 @@
 // so successive PRs can track the perf trajectory.
 //
 // Usage: batch_throughput [--out FILE] [--n N] [--check MIN_SPEEDUP]
+//                         [--quick]
 //   --out FILE       JSON output path (default BENCH_batch.json)
 //   --n N            servers = balls (default 65536 = 2^16, the ISSUE gate)
 //   --check X        exit nonzero unless ring speedup >= X
+//   --quick          small deterministic sizes + fewer reps (CI smoke: same
+//                    fixed seeds, ~seconds instead of minutes)
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -39,9 +42,8 @@ struct Measurement {
 
 /// Median-of-reps wall time for one full process run of `m` balls.
 template <typename Fn>
-Measurement measure(const std::string& name, std::uint64_t m, Fn&& run) {
-  constexpr int kWarmup = 2;
-  constexpr int kReps = 11;
+Measurement measure(const std::string& name, std::uint64_t m, int kWarmup,
+                    int kReps, Fn&& run) {
   for (int i = 0; i < kWarmup; ++i) run();
   std::vector<double> secs(kReps);
   for (int i = 0; i < kReps; ++i) {
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_batch.json";
   std::uint64_t n = 1ull << 16;
   double check = 0.0;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out_path = argv[++i];
@@ -82,11 +85,16 @@ int main(int argc, char** argv) {
       n = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
       check = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
+  if (quick) n = 1ull << 13;
+  const int warmup = quick ? 1 : 2;
+  const int reps = quick ? 5 : 11;
 
   gc::ProcessOptions opt;
   opt.num_balls = n;
@@ -112,30 +120,30 @@ int main(int argc, char** argv) {
   gc::BatchScratch<geochoice::geometry::Vec2> torus_scratch;
 
   std::vector<Measurement> ms;
-  ms.push_back(measure("BM_ProcessPerBallRing/scalar", n, [&] {
+  ms.push_back(measure("BM_ProcessPerBallRing/scalar", n, warmup, reps, [&] {
     const auto r = gc::run_process(ring, opt, gen);
     if (r.max_load == 0) std::abort();
   }));
-  ms.push_back(measure("BM_BatchProcessRing/batched", n, [&] {
+  ms.push_back(measure("BM_BatchProcessRing/batched", n, warmup, reps, [&] {
     const auto r = gc::run_batch_process(ring, opt, gen, batch, &ring_scratch);
     if (r.max_load == 0) std::abort();
   }));
-  ms.push_back(measure("BM_ProcessPerBallUniform/scalar", n, [&] {
+  ms.push_back(measure("BM_ProcessPerBallUniform/scalar", n, warmup, reps, [&] {
     const auto r = gc::run_process(uniform, opt, gen);
     if (r.max_load == 0) std::abort();
   }));
-  ms.push_back(measure("BM_BatchProcessUniform/batched", n, [&] {
+  ms.push_back(measure("BM_BatchProcessUniform/batched", n, warmup, reps, [&] {
     const auto r =
         gc::run_batch_process(uniform, opt, gen, batch, &uniform_scratch);
     if (r.max_load == 0) std::abort();
   }));
   ms.push_back(measure("BM_ProcessPerBallTorus/scalar", torus_opt.num_balls,
-                       [&] {
+                       warmup, reps, [&] {
                          const auto r = gc::run_process(torus, torus_opt, gen);
                          if (r.max_load == 0) std::abort();
                        }));
   ms.push_back(measure("BM_BatchProcessTorus/batched", torus_opt.num_balls,
-                       [&] {
+                       warmup, reps, [&] {
                          const auto r = gc::run_batch_process(
                              torus, torus_opt, gen, batch, &torus_scratch);
                          if (r.max_load == 0) std::abort();
@@ -160,9 +168,10 @@ int main(int argc, char** argv) {
   char cfg[256];
   std::snprintf(cfg, sizeof(cfg),
                 "  \"config\": {\"n\": %llu, \"m\": %llu, \"d\": 2, "
-                "\"tie\": \"random\", \"block_size\": %zu},\n",
+                "\"tie\": \"random\", \"block_size\": %zu, \"quick\": %s},\n",
                 static_cast<unsigned long long>(n),
-                static_cast<unsigned long long>(n), batch.block_size);
+                static_cast<unsigned long long>(n), batch.block_size,
+                quick ? "true" : "false");
   json += cfg;
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
@@ -176,9 +185,21 @@ int main(int argc, char** argv) {
                 ring_speedup, uniform_speedup, torus_speedup);
   json += tail;
 
+  // Error loudly on an unwritable --out: the CI perf gate reads this file,
+  // and a silently dropped write must fail the job, not pass it on stale or
+  // empty data.
   std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
   out << json;
   out.close();
+  if (out.fail()) {
+    std::fprintf(stderr, "FAIL: error writing %s\n", out_path.c_str());
+    return 1;
+  }
   std::printf("\nwrote %s\n", out_path.c_str());
 
   if (check > 0.0 && ring_speedup < check) {

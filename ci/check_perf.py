@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI bench smoke.
+
+Compares speedup metrics in a freshly generated bench JSON (e.g.
+BENCH_batch.json) against committed floors in bench/baseline.json and exits
+nonzero on any regression below a floor. The floors are deliberately set
+well under the reference values measured at development time ("tolerance"),
+so cross-machine noise does not flake the gate while a real regression —
+say the torus batch path sliding back to ~1.0x — still fails loudly.
+
+Usage:
+  check_perf.py RESULTS_JSON BASELINE_JSON   # gate RESULTS against floors
+  check_perf.py --self-test BASELINE_JSON    # prove the gate can fail: for
+        every gated file, synthesize results regressed below the floors and
+        assert the comparison rejects them (the "injected regression" dry
+        run, kept green in CI forever)
+
+baseline.json schema:
+  {"files": {"<results filename>": {"<metric>": {
+      "min": <floor>, "reference": <dev-time value>,
+      "min_hw_threads": <optional: skip metric when results' hw_threads
+                         is below this — thread-scaling metrics are
+                         meaningless on starved runners>}}}}
+"""
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check(results, gates, label):
+    """Return a list of failure strings for one results dict."""
+    failures = []
+    hw = results.get("hw_threads")
+    for metric, gate in gates.items():
+        need_hw = gate.get("min_hw_threads")
+        if need_hw is not None and hw is not None and hw < need_hw:
+            print(f"  SKIP {label}:{metric}: hw_threads={hw} < {need_hw} "
+                  "(thread-scaling metric needs real cores)")
+            continue
+        value = results.get(metric)
+        if value is None:
+            failures.append(f"{label}: metric '{metric}' missing from results")
+            continue
+        floor = gate["min"]
+        ref = gate.get("reference")
+        status = "ok" if value >= floor else "REGRESSION"
+        print(f"  {status:>10} {label}:{metric} = {value:.3f} "
+              f"(floor {floor:.3f}, reference {ref})")
+        if value < floor:
+            failures.append(
+                f"{label}: {metric} = {value:.3f} below floor {floor:.3f}")
+    return failures
+
+
+def self_test(baseline):
+    """Inject regressions and assert the gate fails on every one of them."""
+    print("self-test: injecting regressions below every floor")
+    total = 0
+    for fname, gates in baseline["files"].items():
+        fake = {metric: gate["min"] * 0.5 for metric, gate in gates.items()}
+        fake["hw_threads"] = 10**6  # never trigger the skip path
+        failures = check(fake, gates, fname)
+        expected = len(gates)
+        if len(failures) != expected:
+            print(f"self-test FAILED: {fname} flagged {len(failures)} of "
+                  f"{expected} injected regressions")
+            return 1
+        total += expected
+    print(f"self-test passed: all {total} injected regressions were caught")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--self-test":
+        return self_test(load(argv[2]))
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    results_path, baseline_path = argv[1], argv[2]
+    results = load(results_path)
+    baseline = load(baseline_path)
+    fname = os.path.basename(results_path)
+    gates = baseline["files"].get(fname)
+    if gates is None:
+        print(f"no gates for '{fname}' in {baseline_path}")
+        return 2
+    print(f"perf gate: {results_path} vs {baseline_path}")
+    failures = check(results, gates, fname)
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

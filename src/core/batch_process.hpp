@@ -30,6 +30,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/placement.hpp"
 #include "core/process.hpp"
 #include "parallel/trial_runner.hpp"
 #include "rng/block_sampler.hpp"
@@ -158,70 +159,10 @@ template <spaces::GeometricSpace S>
 
     // Pass 3: sequential placement. Bins are known for the whole block, so
     // the random-access load slots of upcoming balls can be prefetched
-    // while the current ball's comparisons run.
-    constexpr std::size_t kPrefetchAhead = 8;
-    for (std::size_t b = 0; b < cur; ++b) {
-      if (b + kPrefetchAhead < cur) {
-        const spaces::BinIndex* ahead = bins.data() + (b + kPrefetchAhead) * du;
-        for (std::size_t j = 0; j < du; ++j) {
-          __builtin_prefetch(loads + ahead[j], 1);
-        }
-      }
-
-      const spaces::BinIndex* ball_bins = bins.data() + b * du;
-      spaces::BinIndex best_bin = 0;
-      std::uint32_t best_load = 0;
-      double best_measure = 0.0;
-      std::uint32_t tied = 0;
-
-      for (std::size_t j = 0; j < du; ++j) {
-        const spaces::BinIndex bin = ball_bins[j];
-        const std::uint32_t load = loads[bin];
-
-        if (j == 0 || load < best_load) {
-          best_bin = bin;
-          best_load = load;
-          tied = 1;
-          if (needs_region_measure(tie)) {
-            best_measure = space.region_measure(bin);
-          }
-          continue;
-        }
-        if (load > best_load) continue;
-
-        switch (tie) {
-          case TieBreak::kRandom:
-            ++tied;
-            if (rng::uniform_below(gen, tied) == 0) best_bin = bin;
-            break;
-          case TieBreak::kFirstChoice:
-            break;
-          case TieBreak::kSmallerRegion: {
-            const double m = space.region_measure(bin);
-            if (m < best_measure) {
-              best_bin = bin;
-              best_measure = m;
-            }
-            break;
-          }
-          case TieBreak::kLargerRegion: {
-            const double m = space.region_measure(bin);
-            if (m > best_measure) {
-              best_bin = bin;
-              best_measure = m;
-            }
-            break;
-          }
-          case TieBreak::kLowestIndex:
-            if (bin < best_bin) best_bin = bin;
-            break;
-        }
-      }
-
-      const std::uint32_t new_load = ++loads[best_bin];
-      if (new_load > result.max_load) result.max_load = new_load;
-      if (opt.record_heights) result.heights.add(new_load);
-    }
+    // while the current ball's comparisons run. Tie draws (kRandom only)
+    // come from the same engine, after the block's location draws.
+    detail::place_resolved_balls(space, tie, du, bins.data(), cur, loads,
+                                 opt.record_heights, gen, result);
     done += cur;
   }
   return result;

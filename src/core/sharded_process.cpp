@@ -1,0 +1,21 @@
+// sharded_process.cpp — out-of-line instantiations of the sharded engine
+// for the canonical spaces, so every bench/test/example shares one
+// optimized copy instead of re-instantiating the pipeline per translation
+// unit.
+#include "core/sharded_process.hpp"
+
+namespace geochoice::core {
+
+template ProcessResult run_sharded_process<spaces::RingSpace>(
+    const spaces::RingSpace&, const ProcessOptions&, rng::DefaultEngine&,
+    const ShardedOptions&, parallel::ThreadPool*, ShardedScratch<double>*);
+template ProcessResult run_sharded_process<spaces::TorusSpace>(
+    const spaces::TorusSpace&, const ProcessOptions&, rng::DefaultEngine&,
+    const ShardedOptions&, parallel::ThreadPool*,
+    ShardedScratch<geometry::Vec2>*);
+template ProcessResult run_sharded_process<spaces::UniformSpace>(
+    const spaces::UniformSpace&, const ProcessOptions&, rng::DefaultEngine&,
+    const ShardedOptions&, parallel::ThreadPool*,
+    ShardedScratch<spaces::BinIndex>*);
+
+}  // namespace geochoice::core

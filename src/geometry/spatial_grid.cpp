@@ -39,6 +39,17 @@ SpatialGrid::SpatialGrid(std::span<const Vec2> sites,
   for (std::size_t i = 0; i < n; ++i) {
     order_[cursor[bucket_of_site[i]]++] = static_cast<std::uint32_t>(i);
   }
+
+  bucket_x_.resize(n);
+  bucket_y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bucket_x_[i] = sites_[order_[i]].x;
+    bucket_y_[i] = sites_[order_[i]].y;
+  }
+  wrap_.resize(3 * static_cast<std::size_t>(k_));
+  for (std::size_t i = 0; i < wrap_.size(); ++i) {
+    wrap_[i] = static_cast<std::uint32_t>(i % k_);
+  }
 }
 
 std::uint32_t SpatialGrid::bucket_of(double coord) const noexcept {
@@ -89,6 +100,67 @@ double SpatialGrid::nearest_dist2(Vec2 q) const noexcept {
   return torus_dist2(sites_[nearest(q)], q);
 }
 
+std::uint32_t SpatialGrid::nearest_soa(Vec2 q) const noexcept {
+  assert(!sites_.empty());
+  const double qx = wrap01(q.x);
+  const double qy = wrap01(q.y);
+  const std::int64_t bx = bucket_of(q.x);
+  const std::int64_t by = bucket_of(q.y);
+  const std::int64_t k = k_;
+  // wrap valid for axis offsets in [-k, 2k); rings never exceed (k-1)/2.
+  const std::uint32_t* const wrap = wrap_.data() + k;
+  const double* const xs = bucket_x_.data();
+  const double* const ys = bucket_y_.data();
+
+  std::uint32_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  auto scan_bucket = [&](std::uint32_t cx, std::uint32_t cy) {
+    const std::size_t b = cx + static_cast<std::size_t>(cy) * k_;
+    const std::uint32_t end = start_[b + 1];
+    for (std::uint32_t i = start_[b]; i < end; ++i) {
+      double dx = std::fabs(xs[i] - qx);
+      dx = dx > 0.5 ? 1.0 - dx : dx;
+      double dy = std::fabs(ys[i] - qy);
+      dy = dy > 0.5 ? 1.0 - dy : dy;
+      // Bitwise-equal to torus_dist2 for inputs in [0,1): the wrapped
+      // deltas match |torus_delta| exactly (Sterbenz: 1 - |diff| is exact
+      // for |diff| >= 1/2), and squares kill the sign.
+      const double d2 = dx * dx + dy * dy;
+      const std::uint32_t idx = order_[i];
+      if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+        best_d2 = d2;
+        best = idx;
+      }
+    }
+  };
+
+  const std::uint32_t max_ring = (k_ - 1) / 2;
+  for (std::uint32_t ring = 0; ring <= max_ring; ++ring) {
+    const double lower = ring_min_dist(q, ring);
+    if (lower * lower > best_d2) break;
+    const std::int64_t r = ring;
+    if (r == 0) {
+      scan_bucket(wrap[bx], wrap[by]);
+      continue;
+    }
+    const std::uint32_t cy_lo = wrap[by - r];
+    const std::uint32_t cy_hi = wrap[by + r];
+    for (std::int64_t dx = -r; dx <= r; ++dx) {
+      const std::uint32_t cx = wrap[bx + dx];
+      scan_bucket(cx, cy_lo);
+      scan_bucket(cx, cy_hi);
+    }
+    const std::uint32_t cx_lo = wrap[bx - r];
+    const std::uint32_t cx_hi = wrap[bx + r];
+    for (std::int64_t dy = -r + 1; dy <= r - 1; ++dy) {
+      const std::uint32_t cy = wrap[by + dy];
+      scan_bucket(cx_lo, cy);
+      scan_bucket(cx_hi, cy);
+    }
+  }
+  return best;
+}
+
 void SpatialGrid::nearest_batch(std::span<const Vec2> qs,
                                 std::span<std::uint32_t> out,
                                 BatchScratch* scratch) const {
@@ -101,7 +173,8 @@ void SpatialGrid::nearest_batch(std::span<const Vec2> qs,
   // is dense enough relative to the bucket count that sorted neighbors
   // actually share ring neighborhoods. Otherwise the sort is pure
   // overhead; resolve in arrival order with the next queries' bucket rows
-  // prefetched ahead instead.
+  // prefetched ahead instead. Either way the per-query kernel is the SoA
+  // scan (nearest_soa), not the AoS walk scalar callers get.
   const std::size_t buckets = static_cast<std::size_t>(k_) * k_;
   const std::size_t footprint = sites_.size() * sizeof(Vec2) +
                                 start_.size() * sizeof(std::uint32_t) +
@@ -117,7 +190,7 @@ void SpatialGrid::nearest_batch(std::span<const Vec2> qs,
             bucket_of(p.x) + bucket_of(p.y) * static_cast<std::size_t>(k_);
         __builtin_prefetch(start_.data() + b);
       }
-      out[i] = nearest(qs[i]);
+      out[i] = nearest_soa(qs[i]);
     }
     return;
   }
@@ -144,7 +217,7 @@ void SpatialGrid::nearest_batch(std::span<const Vec2> qs,
       const std::size_t nb = s.keyed[i + 1] >> 32;
       __builtin_prefetch(start_.data() + nb);
     }
-    out[qi] = nearest(qs[qi]);
+    out[qi] = nearest_soa(qs[qi]);
   }
 }
 

@@ -51,10 +51,16 @@ class SpatialGrid {
   };
 
   /// Batched nearest-site resolution: `out[i] = nearest(qs[i])` for every
-  /// query, resolved in bucket order rather than arrival order. Sorting the
-  /// block by home bucket means consecutive lookups walk the same bucket
-  /// neighborhood, so the CSR rows and site coordinates stay hot in cache.
-  /// Requires qs.size() == out.size().
+  /// query. Two batch-only optimizations on top of the scalar walk:
+  ///   * SoA candidate scan — bucket contents are stored as separate
+  ///     coordinate arrays in bucket order (bucket_x_/bucket_y_), so a
+  ///     bucket's candidates are one contiguous, branchless distance sweep
+  ///     instead of an index-indirected gather, and the wrap of ring bucket
+  ///     coordinates comes from a precomputed table instead of div/mod;
+  ///   * bucket-sorted resolution order (when the grid spills out of cache)
+  ///     so consecutive lookups share ring neighborhoods.
+  /// Requires qs.size() == out.size(). Queries must lie in [0,1)^2 (the
+  /// process engines' domain); others are wrapped first.
   void nearest_batch(std::span<const Vec2> qs, std::span<std::uint32_t> out,
                      BatchScratch* scratch = nullptr) const;
 
@@ -105,6 +111,13 @@ class SpatialGrid {
   [[nodiscard]] std::uint32_t bucket_of(double coord) const noexcept;
   [[nodiscard]] std::uint32_t ring_cover(double radius) const noexcept;
 
+  /// Scalar nearest over the SoA bucket storage: same ring walk, pruning,
+  /// and index tie-break as nearest(), but candidates are scanned from the
+  /// contiguous per-bucket coordinate arrays with branchless torus deltas
+  /// and table-based bucket wrap. Bit-identical result to nearest() for
+  /// queries in [0,1)^2. The batch path's inner kernel.
+  [[nodiscard]] std::uint32_t nearest_soa(Vec2 q) const noexcept;
+
   /// Visit every site stored in the Chebyshev ring at distance `ring`
   /// buckets around q's bucket (ring 0 = the bucket itself).
   template <typename Fn>
@@ -148,6 +161,13 @@ class SpatialGrid {
   double cell_ = 1.0;               // bucket width = 1/k
   std::vector<std::uint32_t> start_;  // CSR offsets, size k*k+1
   std::vector<std::uint32_t> order_;  // site indices grouped by bucket
+  // SoA mirror of the bucket contents: bucket_x_[i]/bucket_y_[i] are the
+  // coordinates of site order_[i]. Candidate scans read these contiguously
+  // instead of gathering sites_[order_[i]].
+  std::vector<double> bucket_x_;
+  std::vector<double> bucket_y_;
+  // Branch-free axis wrap: wrap_[t + k_] == t mod k_ for t in [-k_, 2k_).
+  std::vector<std::uint32_t> wrap_;
 
   friend class SpatialGridTestPeer;
 };
