@@ -12,63 +12,33 @@
 //   --check X        exit nonzero unless ring speedup >= X
 //   --quick          small deterministic sizes + fewer reps (CI smoke: same
 //                    fixed seeds, ~seconds instead of minutes)
-#include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/core.hpp"
 #include "rng/rng.hpp"
 #include "spaces/spaces.hpp"
 
+namespace gb = geochoice::bench;
 namespace gc = geochoice::core;
 namespace gr = geochoice::rng;
 namespace gs = geochoice::spaces;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-struct Measurement {
-  std::string name;
-  double items_per_sec = 0.0;
-  double ns_per_ball = 0.0;
-};
+using gb::Measurement;
 
 /// Median-of-reps wall time for one full process run of `m` balls.
 template <typename Fn>
 Measurement measure(const std::string& name, std::uint64_t m, int kWarmup,
                     int kReps, Fn&& run) {
-  for (int i = 0; i < kWarmup; ++i) run();
-  std::vector<double> secs(kReps);
-  for (int i = 0; i < kReps; ++i) {
-    const auto t0 = Clock::now();
-    run();
-    const auto t1 = Clock::now();
-    secs[i] = std::chrono::duration<double>(t1 - t0).count();
-  }
-  std::sort(secs.begin(), secs.end());
-  const double median = secs[kReps / 2];
-  Measurement out;
-  out.name = name;
-  out.items_per_sec = static_cast<double>(m) / median;
-  out.ns_per_ball = median * 1e9 / static_cast<double>(m);
-  return out;
-}
-
-void append_json(std::string& json, const Measurement& m, bool last) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "    {\"name\": \"%s\", \"items_per_sec\": %.1f, "
-                "\"ns_per_ball\": %.3f}%s\n",
-                m.name.c_str(), m.items_per_sec, m.ns_per_ball,
-                last ? "" : ",");
-  json += buf;
+  return gb::measure(name, /*threads=*/0, m, kWarmup, kReps,
+                     std::forward<Fn>(run));
 }
 
 }  // namespace
@@ -156,7 +126,7 @@ int main(int argc, char** argv) {
   std::printf("%-34s %15s %12s\n", "benchmark", "items/sec", "ns/ball");
   for (const auto& m : ms) {
     std::printf("%-34s %15.0f %12.2f\n", m.name.c_str(), m.items_per_sec,
-                m.ns_per_ball);
+                m.ns_per_item);
   }
   std::printf("\nring    speedup (batched/scalar): %.2fx\n", ring_speedup);
   std::printf("uniform speedup (batched/scalar): %.2fx\n", uniform_speedup);
@@ -175,7 +145,8 @@ int main(int argc, char** argv) {
   json += cfg;
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
-    append_json(json, ms[i], i + 1 == ms.size());
+    gb::append_json(json, ms[i], "ball", /*with_threads=*/false,
+                    i + 1 == ms.size());
   }
   json += "  ],\n";
   char tail[192];
@@ -185,22 +156,9 @@ int main(int argc, char** argv) {
                 ring_speedup, uniform_speedup, torus_speedup);
   json += tail;
 
-  // Error loudly on an unwritable --out: the CI perf gate reads this file,
-  // and a silently dropped write must fail the job, not pass it on stale or
-  // empty data.
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
-                 out_path.c_str());
-    return 1;
+  if (const int rc = gb::write_json_or_fail(out_path, json); rc != 0) {
+    return rc;
   }
-  out << json;
-  out.close();
-  if (out.fail()) {
-    std::fprintf(stderr, "FAIL: error writing %s\n", out_path.c_str());
-    return 1;
-  }
-  std::printf("\nwrote %s\n", out_path.c_str());
 
   if (check > 0.0 && ring_speedup < check) {
     std::fprintf(stderr, "FAIL: ring speedup %.2fx < required %.2fx\n",

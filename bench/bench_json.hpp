@@ -1,0 +1,95 @@
+// bench_json.hpp — shared scaffolding for the throughput benches.
+//
+// batch_throughput, sharded_throughput and net_throughput all follow the
+// same protocol: median-of-reps wall timing, a printable Measurement row,
+// rows appended into a JSON document, and a loud nonzero-exit write of the
+// --out file (the CI perf gate reads these files, so a silently dropped
+// write must fail the job rather than pass it on stale or empty data).
+// This header is that protocol, written once.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace geochoice::bench {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::string name;
+  std::size_t threads = 0;  // 0 = single-threaded engine (no worker pool)
+  double items_per_sec = 0.0;
+  double ns_per_item = 0.0;
+};
+
+/// Median-of-reps wall time for one run processing `items` items.
+template <typename Fn>
+Measurement measure(const std::string& name, std::size_t threads,
+                    std::uint64_t items, int warmup, int reps, Fn&& run) {
+  for (int i = 0; i < warmup; ++i) run();
+  std::vector<double> secs(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    run();
+    const auto t1 = Clock::now();
+    secs[static_cast<std::size_t>(i)] =
+        std::chrono::duration<double>(t1 - t0).count();
+  }
+  std::sort(secs.begin(), secs.end());
+  const double median = secs[static_cast<std::size_t>(reps) / 2];
+  Measurement out;
+  out.name = name;
+  out.threads = threads;
+  out.items_per_sec = static_cast<double>(items) / median;
+  out.ns_per_item = median * 1e9 / static_cast<double>(items);
+  return out;
+}
+
+/// Append one result row. `unit` names the per-item field ("ball" writes
+/// "ns_per_ball", keeping the historical schema of the batch/sharded
+/// files); `with_threads` controls whether the row carries a threads
+/// column.
+inline void append_json(std::string& json, const Measurement& m,
+                        const char* unit, bool with_threads, bool last) {
+  char buf[256];
+  if (with_threads) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"threads\": %zu, "
+                  "\"items_per_sec\": %.1f, \"ns_per_%s\": %.3f}%s\n",
+                  m.name.c_str(), m.threads, m.items_per_sec, unit,
+                  m.ns_per_item, last ? "" : ",");
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"items_per_sec\": %.1f, "
+                  "\"ns_per_%s\": %.3f}%s\n",
+                  m.name.c_str(), m.items_per_sec, unit, m.ns_per_item,
+                  last ? "" : ",");
+  }
+  json += buf;
+}
+
+/// Write the JSON document to `path`; on any failure print FAIL and return
+/// nonzero so the caller can exit with it.
+[[nodiscard]] inline int write_json_or_fail(const std::string& path,
+                                            const std::string& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  if (out.fail()) {
+    std::fprintf(stderr, "FAIL: error writing %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace geochoice::bench

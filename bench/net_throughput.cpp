@@ -1,0 +1,131 @@
+// net_throughput — event-rate of the discrete-event network simulator.
+//
+// The DES engine is a different beast from the allocation engines: its
+// unit of work is an executed event (one delivered message), and the
+// interesting regression is the event loop sliding from O(log) heap work
+// into something accidentally linear. This bench times the message-level
+// two-choice insertion (constant latency, windowed) and reports
+//
+//   * events_per_sec       — raw simulator event rate,
+//   * inserts_per_sec      — end-to-end wire-insert throughput,
+//   * net_vs_structural    — wire inserts/sec over TwoChoiceDht::insert
+//                            (the structural engine doing the same probes
+//                            without messages); machine-independent, so
+//                            it is the metric bench/baseline.json floors.
+//
+// Usage: net_throughput [--out FILE] [--n N] [--m M] [--quick]
+//   --out FILE   JSON output path (default BENCH_net.json)
+//   --n N        ring nodes (default 16384 = 2^14)
+//   --m M        keys inserted (default 65536 = 2^16)
+//   --quick      small deterministic sizes + fewer reps for the CI smoke
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dht/dht.hpp"
+#include "net/net.hpp"
+#include "rng/rng.hpp"
+
+namespace gb = geochoice::bench;
+namespace gd = geochoice::dht;
+namespace gn = geochoice::net;
+namespace gr = geochoice::rng;
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_net.json";
+  std::uint64_t n = 1ull << 14;
+  std::uint64_t m = 1ull << 16;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--n") && i + 1 < argc) {
+      n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--m") && i + 1 < argc) {
+      m = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (quick) {
+    n = 1ull << 10;
+    m = 1ull << 13;
+  }
+  const int warmup = 1;
+  const int reps = quick ? 5 : 7;
+
+  gn::NetConfig cfg;
+  cfg.nodes = static_cast<std::size_t>(n);
+  cfg.keys = m;
+  cfg.choices = 2;
+  cfg.window = 16;
+  cfg.latency = gn::LatencyModel::constant(1.0);
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+
+  std::vector<gb::Measurement> ms;
+
+  // --- message-level two-choice over the DES.
+  std::uint64_t events = 0;
+  ms.push_back(gb::measure("NetTwoChoice/wire", 0, m, warmup, reps, [&] {
+    gn::NetSimulator sim(ring, cfg);
+    const auto r = sim.run();
+    events = r.events;
+    if (r.max_load == 0) std::abort();
+  }));
+  const double inserts_per_sec = ms.back().items_per_sec;
+  const double events_per_sec =
+      inserts_per_sec * static_cast<double>(events) / static_cast<double>(m);
+
+  // --- structural baseline: same probes, no messages.
+  ms.push_back(gb::measure("TwoChoiceDht/structural", 0, m, warmup, reps, [&] {
+    gr::DefaultEngine gen(42);
+    gd::TwoChoiceDht dht(ring, cfg.choices);
+    for (std::uint64_t k = 0; k < m; ++k) (void)dht.insert(gen);
+    if (dht.max_load() == 0) std::abort();
+  }));
+  const double structural_per_sec = ms.back().items_per_sec;
+  const double net_vs_structural = inserts_per_sec / structural_per_sec;
+
+  std::printf("%-28s %15s %12s\n", "benchmark", "inserts/sec", "ns/insert");
+  for (const auto& r : ms) {
+    std::printf("%-28s %15.0f %12.2f\n", r.name.c_str(), r.items_per_sec,
+                r.ns_per_item);
+  }
+  std::printf("\nevents/sec (DES loop)      : %.0f\n", events_per_sec);
+  std::printf("net / structural inserts   : %.3fx\n", net_vs_structural);
+
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"net_throughput\",\n";
+  char cfg_buf[256];
+  std::snprintf(cfg_buf, sizeof(cfg_buf),
+                "  \"config\": {\"n\": %llu, \"m\": %llu, \"d\": %d, "
+                "\"window\": %u, \"latency\": \"%s\", \"quick\": %s},\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(m), cfg.choices, cfg.window,
+                std::string(gn::to_string(cfg.latency.kind)).c_str(),
+                quick ? "true" : "false");
+  json += cfg_buf;
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    gb::append_json(json, ms[i], "insert", /*with_threads=*/false,
+                    i + 1 == ms.size());
+  }
+  json += "  ],\n";
+  char tail[192];
+  std::snprintf(tail, sizeof(tail),
+                "  \"events_per_sec\": %.1f,\n"
+                "  \"inserts_per_sec\": %.1f,\n"
+                "  \"net_vs_structural\": %.4f\n}\n",
+                events_per_sec, inserts_per_sec, net_vs_structural);
+  json += tail;
+
+  return gb::write_json_or_fail(out_path, json);
+}

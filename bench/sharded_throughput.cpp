@@ -16,66 +16,28 @@
 // "hw_threads" in the JSON says how many cores actually backed the run —
 // on a 1-core box the multi-thread rows measure oversubscription, not
 // speedup, so downstream gates should read them together with hw_threads.
-#include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/core.hpp"
 #include "rng/rng.hpp"
 #include "spaces/spaces.hpp"
 
+namespace gb = geochoice::bench;
 namespace gc = geochoice::core;
 namespace gr = geochoice::rng;
 namespace gs = geochoice::spaces;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-struct Measurement {
-  std::string name;
-  std::size_t threads = 0;  // 0 = single-threaded engine (no worker pool)
-  double items_per_sec = 0.0;
-  double ns_per_ball = 0.0;
-};
-
-template <typename Fn>
-Measurement measure(const std::string& name, std::size_t threads,
-                    std::uint64_t m, int warmup, int reps, Fn&& run) {
-  for (int i = 0; i < warmup; ++i) run();
-  std::vector<double> secs(reps);
-  for (int i = 0; i < reps; ++i) {
-    const auto t0 = Clock::now();
-    run();
-    const auto t1 = Clock::now();
-    secs[i] = std::chrono::duration<double>(t1 - t0).count();
-  }
-  std::sort(secs.begin(), secs.end());
-  const double median = secs[static_cast<std::size_t>(reps) / 2];
-  Measurement out;
-  out.name = name;
-  out.threads = threads;
-  out.items_per_sec = static_cast<double>(m) / median;
-  out.ns_per_ball = median * 1e9 / static_cast<double>(m);
-  return out;
-}
-
-void append_json(std::string& json, const Measurement& m, bool last) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "    {\"name\": \"%s\", \"threads\": %zu, "
-                "\"items_per_sec\": %.1f, \"ns_per_ball\": %.3f}%s\n",
-                m.name.c_str(), m.threads, m.items_per_sec, m.ns_per_ball,
-                last ? "" : ",");
-  json += buf;
-}
+using gb::Measurement;
+using gb::measure;
 
 }  // namespace
 
@@ -189,7 +151,7 @@ int main(int argc, char** argv) {
               "ns/ball");
   for (const auto& r : ms) {
     std::printf("%-28s %8zu %15.0f %12.2f\n", r.name.c_str(), r.threads,
-                r.items_per_sec, r.ns_per_ball);
+                r.items_per_sec, r.ns_per_item);
   }
   std::printf("\nhw threads: %zu\n", hw);
   std::printf("ring  sharded best / batched : %.2fx\n", ring_sharded_speedup);
@@ -211,7 +173,8 @@ int main(int argc, char** argv) {
   json += hwbuf;
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
-    append_json(json, ms[i], i + 1 == ms.size());
+    gb::append_json(json, ms[i], "ball", /*with_threads=*/true,
+                    i + 1 == ms.size());
   }
   json += "  ],\n";
   char tail[256];
@@ -223,20 +186,5 @@ int main(int argc, char** argv) {
                 torus_sharded_speedup);
   json += tail;
 
-  // Same loud-failure contract as batch_throughput: the perf gate must
-  // never pass on a missing or truncated file.
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
-                 out_path.c_str());
-    return 1;
-  }
-  out << json;
-  out.close();
-  if (out.fail()) {
-    std::fprintf(stderr, "FAIL: error writing %s\n", out_path.c_str());
-    return 1;
-  }
-  std::printf("\nwrote %s\n", out_path.c_str());
-  return 0;
+  return gb::write_json_or_fail(out_path, json);
 }

@@ -62,6 +62,39 @@ void ChordRing::build_fingers(int fingers) {
   }
 }
 
+std::uint32_t ChordRing::next_hop(std::uint32_t from, double key) const {
+  if (!has_fingers()) {
+    throw std::logic_error("ChordRing::next_hop: call build_fingers() first");
+  }
+  const std::size_t n = ids_.size();
+  const double dist = geometry::ring_gap(ids_[from], key);
+  // Candidate next hops: the successor link plus all fingers. Take the
+  // one making the most clockwise progress without passing the key.
+  std::uint32_t next = (from + 1) % static_cast<std::uint32_t>(n);
+  double best_progress = -1.0;
+  bool found = false;
+  auto consider = [&](std::uint32_t cand) {
+    if (cand == from) return;
+    const double p = geometry::ring_gap(ids_[from], ids_[cand]);
+    if (p <= dist && p > best_progress) {
+      best_progress = p;
+      next = cand;
+      found = true;
+    }
+  };
+  consider((from + 1) % static_cast<std::uint32_t>(n));
+  const std::size_t base = static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(fingers_per_node_);
+  for (int k = 0; k < fingers_per_node_; ++k) {
+    consider(fingers_[base + static_cast<std::size_t>(k)]);
+  }
+  if (!found) {
+    // No node lies in (from, key]: the immediate successor owns the key.
+    next = (from + 1) % static_cast<std::uint32_t>(n);
+  }
+  return next;
+}
+
 LookupResult ChordRing::lookup(std::uint32_t from_node, double key) const {
   if (!has_fingers()) {
     throw std::logic_error("ChordRing::lookup: call build_fingers() first");
@@ -71,32 +104,7 @@ LookupResult ChordRing::lookup(std::uint32_t from_node, double key) const {
   std::uint32_t cur = from_node;
   std::uint32_t hops = 0;
   while (cur != owner && hops <= n) {
-    const double dist = geometry::ring_gap(ids_[cur], key);
-    // Candidate next hops: the successor link plus all fingers. Take the
-    // one making the most clockwise progress without passing the key.
-    std::uint32_t next = (cur + 1) % static_cast<std::uint32_t>(n);
-    double best_progress = -1.0;
-    bool found = false;
-    auto consider = [&](std::uint32_t cand) {
-      if (cand == cur) return;
-      const double p = geometry::ring_gap(ids_[cur], ids_[cand]);
-      if (p <= dist && p > best_progress) {
-        best_progress = p;
-        next = cand;
-        found = true;
-      }
-    };
-    consider((cur + 1) % static_cast<std::uint32_t>(n));
-    const std::size_t base =
-        static_cast<std::size_t>(cur) * static_cast<std::size_t>(fingers_per_node_);
-    for (int k = 0; k < fingers_per_node_; ++k) {
-      consider(fingers_[base + static_cast<std::size_t>(k)]);
-    }
-    if (!found) {
-      // No node lies in (cur, key]: the immediate successor owns the key.
-      next = (cur + 1) % static_cast<std::uint32_t>(n);
-    }
-    cur = next;
+    cur = next_hop(cur, key);
     ++hops;
   }
   return {owner, hops};

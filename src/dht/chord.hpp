@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "rng/distributions.hpp"
@@ -65,6 +66,27 @@ class ChordRing {
   [[nodiscard]] int fingers_per_node() const noexcept {
     return fingers_per_node_;
   }
+
+  /// Finger k of node i (the node successor(id_i + 2^{-(k+1)}) resolved at
+  /// build_fingers() time). Requires build_fingers().
+  [[nodiscard]] std::uint32_t finger(std::uint32_t i, int k) const {
+    if (k < 0 || k >= fingers_per_node_) {
+      throw std::logic_error(
+          "ChordRing::finger: call build_fingers() first / finger index "
+          "out of range");
+    }
+    return fingers_[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(fingers_per_node_) +
+                    static_cast<std::size_t>(k)];
+  }
+
+  /// One greedy routing step: the neighbour of `from` (successor link or
+  /// finger) making the most clockwise progress toward `key` without
+  /// passing it; the plain successor when no neighbour lands in
+  /// (from, key]. This is the per-message decision a node makes in the
+  /// discrete-event simulator (net/); lookup() iterates it to completion.
+  /// Requires build_fingers().
+  [[nodiscard]] std::uint32_t next_hop(std::uint32_t from, double key) const;
 
   /// Greedy Chord routing from `from_node` to the owner of `key`: repeatedly
   /// jump to the farthest finger that does not overshoot the key, falling

@@ -1,0 +1,48 @@
+// chord_space.hpp — ChordRing as a GeometricSpace (successor ownership).
+//
+// spaces::RingSpace resolves a location to the arc *containing* it;
+// Chord's convention is the mirror image — a key belongs to its clockwise
+// successor. This adapter exposes a ChordRing under the GeometricSpace
+// concept with the successor convention, so core::run_process can run the
+// sequential d-choice allocation on the *identical* ownership map the
+// network simulator uses. That is what lets the zero-latency validation
+// test assert bit-equality (not just distribution-equality) between the
+// message-level two-choice insertion and run_process.
+#pragma once
+
+#include <cstddef>
+
+#include "dht/chord.hpp"
+#include "rng/distributions.hpp"
+#include "spaces/space.hpp"
+
+namespace geochoice::net {
+
+class ChordSuccessorSpace {
+ public:
+  using Location = double;
+
+  /// `ring` must outlive the space.
+  explicit ChordSuccessorSpace(const dht::ChordRing& ring) noexcept
+      : ring_(&ring) {}
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return ring_->node_count();
+  }
+  [[nodiscard]] Location sample(rng::DefaultEngine& gen) const noexcept {
+    return rng::uniform01(gen);
+  }
+  [[nodiscard]] spaces::BinIndex owner(Location loc) const noexcept {
+    return ring_->successor(loc);
+  }
+  [[nodiscard]] double region_measure(spaces::BinIndex bin) const noexcept {
+    return ring_->owned_arc(bin);
+  }
+
+ private:
+  const dht::ChordRing* ring_;
+};
+
+static_assert(spaces::GeometricSpace<ChordSuccessorSpace>);
+
+}  // namespace geochoice::net

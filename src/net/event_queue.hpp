@@ -1,0 +1,65 @@
+// event_queue.hpp — the deterministic heart of the discrete-event
+// simulator.
+//
+// A discrete-event simulation is only reproducible if simultaneous events
+// execute in a defined order. EventQueue therefore keys its min-heap on
+// (time, sequence): `sequence` is a monotonically increasing counter
+// assigned at push() time, so events scheduled for the same instant pop in
+// schedule order — FIFO among ties, independent of heap internals, host
+// timing, or thread count. Combined with substream-seeded randomness
+// (rng/streams.hpp) this makes an entire simulation a pure function of
+// (seed, config).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace geochoice::net {
+
+/// Simulated clock. Unitless; latency models define the scale.
+using SimTime = double;
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;  // tie-breaker: schedule order
+    Payload payload;
+  };
+
+  /// Schedule `payload` at absolute time `t`.
+  void push(SimTime t, Payload payload) {
+    heap_.push(Event{t, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest event; among equal times, the one scheduled first.
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  /// Total events ever scheduled (the sequence counter).
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace geochoice::net

@@ -1,0 +1,84 @@
+// message.hpp — the typed wire protocol of the simulated DHT.
+//
+// Six message types model the paper's two-choice insertion and Chord
+// lookups at wire granularity:
+//
+//   insert op:  kProbe        client -> (routed) candidate owner
+//               kProbeReply   owner  -> client, carries the owner's load
+//                             *at reply time* — by the time the client
+//                             acts on it, in-flight placements may have
+//                             made it stale
+//               kPlace        client -> chosen owner (direct; the probe
+//                             reply taught the client its address)
+//               kPlaceAck     owner  -> client
+//   lookup op:  kLookup       client -> (routed) key owner
+//               kLookupReply  owner  -> client
+//
+// Routed messages hop node-to-node along Chord fingers, one link delay and
+// one `hops` increment per forward; direct messages cost a single link.
+#pragma once
+
+#include <cstdint>
+
+#include "net/event_queue.hpp"
+
+namespace geochoice::net {
+
+enum class MsgType : std::uint8_t {
+  kProbe = 0,
+  kProbeReply,
+  kPlace,
+  kPlaceAck,
+  kLookup,
+  kLookupReply,
+};
+
+[[nodiscard]] constexpr const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kProbe:
+      return "probe";
+    case MsgType::kProbeReply:
+      return "probe_reply";
+    case MsgType::kPlace:
+      return "place";
+    case MsgType::kPlaceAck:
+      return "place_ack";
+    case MsgType::kLookup:
+      return "lookup";
+    case MsgType::kLookupReply:
+      return "lookup_reply";
+  }
+  return "?";
+}
+
+inline constexpr int kMsgTypeCount = 6;
+
+struct Message {
+  MsgType type = MsgType::kProbe;
+  /// Node currently holding the message (the event's recipient).
+  std::uint32_t at = 0;
+  /// Sender of the most recent link traversal. A probe reply's `from` is
+  /// the candidate's owner — that is how the client learns the address it
+  /// later sends kPlace to directly.
+  std::uint32_t from = 0;
+  /// Operation originator (probe replies and acks return here).
+  std::uint32_t client = 0;
+  /// Operation id: insert index or lookup index, per-kind namespaces.
+  std::uint64_t op = 0;
+  /// Candidate index within an insert op (0 .. d-1); unused for lookups.
+  std::uint8_t probe = 0;
+  /// Ring position being routed toward (candidate or lookup key).
+  double key = 0.0;
+  /// Forwarding hops accumulated so far (routed messages).
+  std::uint32_t hops = 0;
+  /// Load observed by the owner at reply time (kProbeReply), echoed back
+  /// on kPlace so the owner can detect that the client acted on stale
+  /// information.
+  std::uint32_t load = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+using MessageQueue = EventQueue<Message>;
+
+}  // namespace geochoice::net

@@ -22,6 +22,7 @@ enum class StreamPurpose : std::uint64_t {
   kBallChoices = 0x42414c4c53212121ULL,      // "BALLS!!!"
   kTieBreaking = 0x5449455352414e44ULL,      // "TIESRAND"
   kWorkload = 0x574f524b4c4f4144ULL,         // "WORKLOAD"
+  kNetLatency = 0x4e45544c4154454eULL,       // "NETLATEN"
   kGeneric = 0x47454e4552494321ULL,          // "GENERIC!"
 };
 

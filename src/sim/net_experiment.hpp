@@ -1,0 +1,57 @@
+// net_experiment.hpp — multi-trial scenarios for the network simulator.
+//
+// One NetScenarioConfig describes a message-level experiment: the per-trial
+// net::NetConfig (ring size, keys, d, insert window, latency model,
+// measurement lookups) plus a trial count. Trials run in parallel with the
+// usual per-trial substream seeding, so results are bit-identical for any
+// thread count; percentile columns aggregate the per-trial P² estimates by
+// averaging (each trial's estimator sees that trial's full stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace geochoice::sim {
+
+struct NetScenarioConfig {
+  /// Per-trial simulation parameters; `trial` is overwritten per trial.
+  net::NetConfig net;
+  std::uint64_t trials = 20;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+struct NetScenarioResult {
+  /// Distribution of the max keys-per-node over trials (the paper's
+  /// headline statistic, now measured over the wire).
+  stats::IntHistogram max_load;
+  double mean_lookup_hops = 0.0;
+  double lookup_hops_p50 = 0.0;
+  double lookup_hops_p90 = 0.0;
+  double lookup_hops_p99 = 0.0;
+  double insert_latency_p50 = 0.0;
+  double insert_latency_p90 = 0.0;
+  double insert_latency_p99 = 0.0;
+  double lookup_latency_p50 = 0.0;
+  double lookup_latency_p90 = 0.0;
+  double lookup_latency_p99 = 0.0;
+  /// Wire cost: mean link traversals and probe-routing hops per insert.
+  double links_per_insert = 0.0;
+  double probe_hops_per_insert = 0.0;
+  /// Fraction of placements that acted on a stale load reply.
+  double stale_fraction = 0.0;
+  double mean_events = 0.0;
+  double mean_end_time = 0.0;
+};
+
+/// Run the scenario's trials in parallel (deterministic in the seed).
+[[nodiscard]] NetScenarioResult run_net_scenario(const NetScenarioConfig& cfg);
+
+/// Human-readable report: config echo, wire/latency metric table, and the
+/// paper-style max-load distribution block.
+[[nodiscard]] std::string render_net_summary(const NetScenarioConfig& cfg,
+                                             const NetScenarioResult& r);
+
+}  // namespace geochoice::sim
