@@ -18,8 +18,21 @@
 //   --seed=...        master seed
 //   --threads=0       trial parallelism (0 = hardware)
 //   --csv=PATH        also append one metrics row per run to PATH
+//
+// Sweep mode (the ROADMAP stale-information study, self-contained):
+//   --sweep                 run the window x latency-model grid instead of
+//                           one configuration: window in 1,2,4,...,max per
+//                           canonical model (constant(1), uniform(0.5,1.5),
+//                           lognormal(0,1)); one CSV row per cell, so the
+//                           phase-change chart needs no external driver
+//   --sweep-max-window=256  largest window in the grid
+//   --csv=PATH              sweep output (default net_sweep.csv)
+// --n/--keys/--d/--trials/--lookups/--seed/--threads apply per cell;
+// --window/--latency/--lat-a/--lat-b are the swept axes and are rejected.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "sim/cli.hpp"
 #include "sim/csv.hpp"
@@ -28,53 +41,87 @@
 namespace gn = geochoice::net;
 namespace gm = geochoice::sim;
 
+namespace {
+
+int run_sweep(gm::NetScenarioConfig cfg, std::uint64_t max_window,
+              const std::string& csv_path) {
+  const std::vector<gn::LatencyModel> models = {
+      gn::LatencyModel::constant(1.0),
+      gn::LatencyModel::uniform(0.5, 1.5),
+      gn::LatencyModel::lognormal(0.0, 1.0),
+  };
+  gm::CsvWriter csv(csv_path, gm::net_csv_header());
+  std::printf("%-10s %8s %14s %14s %14s\n", "latency", "window",
+              "max_load_mean", "stale_frac", "insert_p99");
+  for (const auto& model : models) {
+    // 64-bit loop variable: doubling cannot wrap below any representable
+    // --sweep-max-window, so the loop always terminates.
+    for (std::uint64_t w = 1; w <= max_window; w *= 2) {
+      cfg.net.latency = model;
+      cfg.net.window = static_cast<std::uint32_t>(w);
+      const auto r = gm::run_net_scenario(cfg);
+      csv.row(gm::net_csv_row(cfg, r));
+      std::printf("%-10s %8u %14.3f %14.4f %14.2f\n",
+                  std::string(gn::to_string(model.kind)).c_str(), w,
+                  r.max_load.mean(), r.stale_fraction, r.insert_latency_p99);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nwrote %zu rows to %s\n",
+              static_cast<std::size_t>(csv.rows_written()), csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
+  const bool sweep = args.has("sweep");
   gm::NetScenarioConfig cfg;
   cfg.net.nodes = args.get_u64("n", 1u << 10);
   cfg.net.keys = args.get_u64("keys", 0);
   cfg.net.choices = static_cast<int>(args.get_u64("d", 2));
-  cfg.net.window = static_cast<std::uint32_t>(args.get_u64("window", 8));
-  cfg.net.latency.kind =
-      gn::latency_kind_from_string(args.get_string("latency", "uniform"));
-  cfg.net.latency.a = args.get_double("lat-a", 0.5);
-  cfg.net.latency.b = args.get_double("lat-b", 1.5);
   cfg.net.lookups = args.get_u64("lookups", 4096);
   cfg.net.seed = args.get_u64("seed", cfg.net.seed);
   cfg.trials = args.get_u64("trials", 20);
   cfg.threads = args.get_u64("threads", 0);
-  const std::string csv_path = args.get_string("csv", "");
+  std::uint64_t max_window = 256;
+  std::string csv_path;
+  if (sweep) {
+    // Windows beyond u32 are nonsense (NetConfig::window is 32-bit); clamp
+    // rather than truncate so absurd inputs stay finite, not wrapped.
+    max_window = std::min<std::uint64_t>(args.get_u64("sweep-max-window", 256),
+                                         0xffffffffull);
+    csv_path = args.get_string("csv", "net_sweep.csv");
+    for (const char* axis : {"window", "latency", "lat-a", "lat-b"}) {
+      if (args.has(axis)) {
+        std::fprintf(stderr, "--%s is a swept axis; drop it in --sweep mode\n",
+                     axis);
+        return 2;
+      }
+    }
+  } else {
+    cfg.net.window = static_cast<std::uint32_t>(args.get_u64("window", 8));
+    cfg.net.latency.kind =
+        gn::latency_kind_from_string(args.get_string("latency", "uniform"));
+    cfg.net.latency.a = args.get_double("lat-a", 0.5);
+    cfg.net.latency.b = args.get_double("lat-b", 1.5);
+    csv_path = args.get_string("csv", "");
+  }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
   }
   cfg.net.latency.validate();
 
+  if (sweep) return run_sweep(cfg, max_window, csv_path);
+
   const auto result = gm::run_net_scenario(cfg);
   std::fputs(gm::render_net_summary(cfg, result).c_str(), stdout);
 
   if (!csv_path.empty()) {
-    gm::CsvWriter csv(
-        csv_path,
-        {"n", "keys", "d", "window", "latency", "lat_a", "lat_b", "seed",
-         "mean_hops", "hops_p99", "insert_lat_p50", "insert_lat_p99",
-         "lookup_lat_p50", "lookup_lat_p99", "links_per_insert",
-         "stale_fraction", "max_load_mean"});
-    csv.row({std::to_string(cfg.net.nodes),
-             std::to_string(cfg.net.insert_count()),
-             std::to_string(cfg.net.choices), std::to_string(cfg.net.window),
-             std::string(gn::to_string(cfg.net.latency.kind)),
-             std::to_string(cfg.net.latency.a),
-             std::to_string(cfg.net.latency.b), std::to_string(cfg.net.seed),
-             std::to_string(result.mean_lookup_hops),
-             std::to_string(result.lookup_hops_p99),
-             std::to_string(result.insert_latency_p50),
-             std::to_string(result.insert_latency_p99),
-             std::to_string(result.lookup_latency_p50),
-             std::to_string(result.lookup_latency_p99),
-             std::to_string(result.links_per_insert),
-             std::to_string(result.stale_fraction),
-             std::to_string(result.max_load.mean())});
+    gm::CsvWriter csv(csv_path, gm::net_csv_header());
+    csv.row(gm::net_csv_row(cfg, result));
   }
   return 0;
 }

@@ -6,12 +6,16 @@
 // into something accidentally linear. This bench times the message-level
 // two-choice insertion (constant latency, windowed) and reports
 //
-//   * events_per_sec       — raw simulator event rate,
+//   * events_per_sec       — raw simulator event rate (also a results row,
+//                            so the per-event ns shows next to per-insert),
 //   * inserts_per_sec      — end-to-end wire-insert throughput,
 //   * net_vs_structural    — wire inserts/sec over TwoChoiceDht::insert
 //                            (the structural engine doing the same probes
 //                            without messages); machine-independent, so
 //                            it is the metric bench/baseline.json floors.
+//
+// The JSON records hw_threads (like sharded_throughput) so perf-gate skips
+// and cross-runner comparisons stay auditable.
 //
 // Usage: net_throughput [--out FILE] [--n N] [--m M] [--quick]
 //   --out FILE   JSON output path (default BENCH_net.json)
@@ -23,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -82,6 +87,12 @@ int main(int argc, char** argv) {
   const double inserts_per_sec = ms.back().items_per_sec;
   const double events_per_sec =
       inserts_per_sec * static_cast<double>(events) / static_cast<double>(m);
+  // Same wall time re-expressed per executed event: the DES-loop row.
+  gb::Measurement ev_row;
+  ev_row.name = "NetTwoChoice/events";
+  ev_row.items_per_sec = events_per_sec;
+  ev_row.ns_per_item = 1e9 / events_per_sec;
+  ms.push_back(ev_row);
 
   // --- structural baseline: same probes, no messages.
   ms.push_back(gb::measure("TwoChoiceDht/structural", 0, m, warmup, reps, [&] {
@@ -93,12 +104,13 @@ int main(int argc, char** argv) {
   const double structural_per_sec = ms.back().items_per_sec;
   const double net_vs_structural = inserts_per_sec / structural_per_sec;
 
-  std::printf("%-28s %15s %12s\n", "benchmark", "inserts/sec", "ns/insert");
+  std::printf("%-28s %15s %12s\n", "benchmark", "items/sec", "ns/item");
   for (const auto& r : ms) {
     std::printf("%-28s %15.0f %12.2f\n", r.name.c_str(), r.items_per_sec,
                 r.ns_per_item);
   }
-  std::printf("\nevents/sec (DES loop)      : %.0f\n", events_per_sec);
+  std::printf("\nhw threads: %u\n", std::thread::hardware_concurrency());
+  std::printf("events/sec (DES loop)      : %.0f\n", events_per_sec);
   std::printf("net / structural inserts   : %.3fx\n", net_vs_structural);
 
   std::string json;
@@ -113,6 +125,10 @@ int main(int argc, char** argv) {
                 std::string(gn::to_string(cfg.latency.kind)).c_str(),
                 quick ? "true" : "false");
   json += cfg_buf;
+  char hwbuf[64];
+  std::snprintf(hwbuf, sizeof(hwbuf), "  \"hw_threads\": %zu,\n",
+                static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json += hwbuf;
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
     gb::append_json(json, ms[i], "insert", /*with_threads=*/false,

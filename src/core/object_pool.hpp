@@ -1,0 +1,140 @@
+// object_pool.hpp — a free-list object pool with generation-checked
+// handles.
+//
+// The discrete-event simulator (net/) keeps two kinds of short-lived state
+// on its hot path: message payloads parked in the scheduler and the
+// in-flight insert/lookup operation records a client accumulates replies
+// into. Allocating those individually (heap nodes, unordered_map churn)
+// costs more than the work they carry. ObjectPool gives both a dense,
+// reusable slot array: release() pushes the slot onto a LIFO free list and
+// bumps the slot's generation counter, so a stale Handle — one kept past
+// its release — can never silently alias the slot's next tenant; get()
+// throws on it and try_get() returns nullptr. Steady state allocates
+// nothing: the slot vector grows to the high-water mark of live objects
+// and is recycled from then on.
+//
+// Determinism note: the free list is LIFO, so allocation order is a pure
+// function of the emplace/release sequence — pools inside a deterministic
+// simulation do not perturb its trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace geochoice::core {
+
+template <typename T>
+class ObjectPool {
+ public:
+  /// Index + generation pair. A handle is valid until its slot is
+  /// released; after that the generation mismatch makes it detectably
+  /// stale (until the 32-bit counter wraps, ~4e9 reuses of one slot).
+  struct Handle {
+    std::uint32_t index = 0xffffffffu;
+    std::uint32_t generation = 0;
+
+    /// Pack into one word (e.g. to ride along inside a message).
+    [[nodiscard]] constexpr std::uint64_t pack() const noexcept {
+      return (static_cast<std::uint64_t>(generation) << 32) | index;
+    }
+    [[nodiscard]] static constexpr Handle unpack(std::uint64_t w) noexcept {
+      return Handle{static_cast<std::uint32_t>(w),
+                    static_cast<std::uint32_t>(w >> 32)};
+    }
+
+    friend constexpr bool operator==(const Handle&, const Handle&) = default;
+  };
+
+  ObjectPool() = default;
+  explicit ObjectPool(std::size_t reserve_slots) { reserve(reserve_slots); }
+
+  /// Pre-size the slot and free-list storage (avoids growth allocations
+  /// until more than `n` objects are live at once).
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
+
+  /// Construct a T in a recycled (or new) slot.
+  template <typename... Args>
+  [[nodiscard]] Handle emplace(Args&&... args) {
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      if (index == 0xffffffffu) {
+        throw std::length_error("ObjectPool: slot index space exhausted");
+      }
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[index];
+    s.value.emplace(std::forward<Args>(args)...);
+    ++live_;
+    return Handle{index, s.generation};
+  }
+
+  /// Checked access: throws std::logic_error on a stale or never-valid
+  /// handle. Use where a stale handle means a bug (the simulator's reply
+  /// handlers).
+  [[nodiscard]] T& get(Handle h) {
+    T* p = try_get(h);
+    if (p == nullptr) {
+      throw std::logic_error("ObjectPool::get: stale or invalid handle");
+    }
+    return *p;
+  }
+  [[nodiscard]] const T& get(Handle h) const {
+    return const_cast<ObjectPool*>(this)->get(h);
+  }
+
+  /// nullptr when the handle's slot has been released (or never existed).
+  [[nodiscard]] T* try_get(Handle h) noexcept {
+    if (h.index >= slots_.size()) return nullptr;
+    Slot& s = slots_[h.index];
+    if (s.generation != h.generation || !s.value.has_value()) return nullptr;
+    return &*s.value;
+  }
+  [[nodiscard]] const T* try_get(Handle h) const noexcept {
+    return const_cast<ObjectPool*>(this)->try_get(h);
+  }
+
+  [[nodiscard]] bool alive(Handle h) const noexcept {
+    return try_get(h) != nullptr;
+  }
+
+  /// Destroy the object and recycle its slot; the generation bump
+  /// invalidates every outstanding handle to it. Throws on stale handles —
+  /// a double release is always a bug.
+  void release(Handle h) {
+    if (!alive(h)) {
+      throw std::logic_error("ObjectPool::release: stale or invalid handle");
+    }
+    Slot& s = slots_[h.index];
+    s.value.reset();
+    ++s.generation;
+    free_.push_back(h.index);
+    --live_;
+  }
+
+  /// Objects currently alive.
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  /// Slots ever created (high-water mark of concurrent live objects).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::optional<T> value;  // engaged iff the slot is live
+    std::uint32_t generation = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace geochoice::core

@@ -60,6 +60,38 @@ void ChordRing::build_fingers(int fingers) {
                static_cast<std::size_t>(k)] = successor(target);
     }
   }
+
+  // Precompute each node's next-hop candidates (successor link + fingers)
+  // sorted by descending progress, so next_hop() is a first-hit scan
+  // instead of a full ring_gap pass per forwarded message. Two distinct
+  // candidates can never make equal progress from the same node (ids are
+  // distinct), so the sort order fixes the same argmax the scan took.
+  hop_stride_ = fingers + 1;
+  const std::size_t stride = static_cast<std::size_t>(hop_stride_);
+  hop_progress_.assign(n * stride, 2.0);  // 2.0: sentinel no ring_gap hits
+  hop_node_.assign(n * stride, 0);
+  std::vector<std::pair<double, std::uint32_t>> cands;
+  for (std::size_t i = 0; i < n; ++i) {
+    cands.clear();
+    const auto succ_link =
+        static_cast<std::uint32_t>((i + 1) % n);
+    auto consider = [&](std::uint32_t cand) {
+      if (cand == static_cast<std::uint32_t>(i)) return;
+      cands.emplace_back(geometry::ring_gap(ids_[i], ids_[cand]), cand);
+    };
+    consider(succ_link);
+    for (int k = 0; k < fingers; ++k) {
+      consider(fingers_[i * static_cast<std::size_t>(fingers) +
+                        static_cast<std::size_t>(k)]);
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+    for (std::size_t j = 0; j < cands.size(); ++j) {
+      hop_progress_[i * stride + j] = cands[j].first;
+      hop_node_[i * stride + j] = cands[j].second;
+    }
+  }
 }
 
 std::uint32_t ChordRing::next_hop(std::uint32_t from, double key) const {
@@ -68,31 +100,19 @@ std::uint32_t ChordRing::next_hop(std::uint32_t from, double key) const {
   }
   const std::size_t n = ids_.size();
   const double dist = geometry::ring_gap(ids_[from], key);
-  // Candidate next hops: the successor link plus all fingers. Take the
-  // one making the most clockwise progress without passing the key.
-  std::uint32_t next = (from + 1) % static_cast<std::uint32_t>(n);
-  double best_progress = -1.0;
-  bool found = false;
-  auto consider = [&](std::uint32_t cand) {
-    if (cand == from) return;
-    const double p = geometry::ring_gap(ids_[from], ids_[cand]);
-    if (p <= dist && p > best_progress) {
-      best_progress = p;
-      next = cand;
-      found = true;
+  // Candidates (successor link + fingers) are presorted by descending
+  // progress at build_fingers() time: the first one not passing the key is
+  // the greedy hop. Padding entries carry progress 2.0, which no dist in
+  // [0, 1) reaches, so short rows fall through to the successor fallback.
+  const std::size_t base =
+      static_cast<std::size_t>(from) * static_cast<std::size_t>(hop_stride_);
+  for (int j = 0; j < hop_stride_; ++j) {
+    if (hop_progress_[base + static_cast<std::size_t>(j)] <= dist) {
+      return hop_node_[base + static_cast<std::size_t>(j)];
     }
-  };
-  consider((from + 1) % static_cast<std::uint32_t>(n));
-  const std::size_t base = static_cast<std::size_t>(from) *
-                           static_cast<std::size_t>(fingers_per_node_);
-  for (int k = 0; k < fingers_per_node_; ++k) {
-    consider(fingers_[base + static_cast<std::size_t>(k)]);
   }
-  if (!found) {
-    // No node lies in (from, key]: the immediate successor owns the key.
-    next = (from + 1) % static_cast<std::uint32_t>(n);
-  }
-  return next;
+  // No node lies in (from, key]: the immediate successor owns the key.
+  return (from + 1) % static_cast<std::uint32_t>(n);
 }
 
 LookupResult ChordRing::lookup(std::uint32_t from_node, double key) const {

@@ -98,6 +98,17 @@ class ChordRing {
   std::vector<double> ids_;      // sorted
   std::vector<std::uint32_t> fingers_;  // node_count * fingers_per_node_
   int fingers_per_node_ = 0;
+  /// Routing acceleration, built by build_fingers(): per node, its
+  /// candidate next hops (successor link + fingers, self and duplicates
+  /// dropped) sorted by descending clockwise progress, progress
+  /// precomputed. next_hop() then returns the first candidate whose
+  /// progress does not pass the key — the same argmax the naive scan
+  /// computes (from one origin, distinct nodes cannot tie on progress),
+  /// found without recomputing a single ring_gap. SoA so the scan touches
+  /// one stream of doubles.
+  std::vector<double> hop_progress_;     // node_count * hop_stride_
+  std::vector<std::uint32_t> hop_node_;  // node_count * hop_stride_
+  int hop_stride_ = 0;  // candidates per node, short rows padded
 };
 
 }  // namespace geochoice::dht

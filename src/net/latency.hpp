@@ -84,6 +84,21 @@ struct LatencyModel {
     return a;
   }
 
+  /// Expected link delay — the time scale of the model. Used to seed the
+  /// calendar queue's day width (event_queue.hpp); never drawn from in the
+  /// simulation itself, so it cannot perturb a trace.
+  [[nodiscard]] double mean() const noexcept {
+    switch (kind) {
+      case LatencyKind::kConstant:
+        return a;
+      case LatencyKind::kUniform:
+        return 0.5 * (a + b);
+      case LatencyKind::kLognormal:
+        return std::exp(a + 0.5 * b * b);
+    }
+    return a;
+  }
+
   void validate() const {
     switch (kind) {
       case LatencyKind::kConstant:

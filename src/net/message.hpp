@@ -75,6 +75,16 @@ struct Message {
   /// on kPlace so the owner can detect that the client acted on stale
   /// information.
   std::uint32_t load = 0;
+  /// Routing destination: successor(key), resolved once at issue time and
+  /// carried along so forwarding hops don't re-run the successor search.
+  /// Purely a cache — next_hop() never reads it, so routing decisions are
+  /// unchanged; it is not folded into the golden trace hash.
+  std::uint32_t dest = 0;
+  /// Packed core::ObjectPool handle of the client's in-flight op record
+  /// (insert or lookup, by message kind). Replies echo it back, giving the
+  /// client O(1) generation-checked access to its op state with no map
+  /// lookup. Deterministic (pool allocation order is), not hash-folded.
+  std::uint64_t slot = 0;
 
   friend bool operator==(const Message&, const Message&) = default;
 };

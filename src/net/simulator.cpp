@@ -18,12 +18,22 @@ inline std::uint64_t bits(double x) noexcept {
   return std::bit_cast<std::uint64_t>(x);
 }
 
+/// Calendar-queue day-width hint: the latency scale spread over the
+/// messages a full window keeps in flight. Only a starting point — the
+/// queue re-derives the width from the live schedule as it resizes.
+inline net::SimTime queue_width_hint(const net::NetConfig& cfg) noexcept {
+  const double inflight =
+      static_cast<double>(cfg.window) * static_cast<double>(cfg.choices);
+  return cfg.latency.mean() / (inflight > 1.0 ? inflight : 1.0);
+}
+
 }  // namespace
 
 NetSimulator::NetSimulator(const dht::ChordRing& ring, const NetConfig& cfg)
     : ring_(&ring),
       cfg_(cfg),
       total_inserts_(cfg.insert_count()),
+      queue_(queue_width_hint(cfg)),
       candidates_(rng::make_stream(cfg.seed, cfg.trial,
                                    rng::StreamPurpose::kBallChoices)),
       clients_(
@@ -50,6 +60,9 @@ NetSimulator::NetSimulator(const dht::ChordRing& ring, const NetConfig& cfg)
         "the wire; use kFirstChoice, kLowestIndex or kRandom");
   }
   cfg.latency.validate();
+  // One slot per windowed operation: after this the pools never allocate.
+  insert_ops_.reserve(cfg.window);
+  lookup_ops_.reserve(cfg.window);
 }
 
 dht::ChordRing NetSimulator::make_ring(const NetConfig& cfg) {
@@ -93,7 +106,7 @@ void NetSimulator::issue_insert(SimTime now) {
   for (int j = 0; j < cfg_.choices; ++j) {
     candidate[static_cast<std::size_t>(j)] = rng::uniform01(candidates_);
   }
-  insert_ops_.emplace(op, InsertOp{now, {}, {}, 0});
+  const auto slot = insert_ops_.emplace(InsertOp{now, op, {}, {}, 0}).pack();
   for (int j = 0; j < cfg_.choices; ++j) {
     Message m;
     m.type = MsgType::kProbe;
@@ -103,6 +116,8 @@ void NetSimulator::issue_insert(SimTime now) {
     m.op = op;
     m.probe = static_cast<std::uint8_t>(j);
     m.key = candidate[static_cast<std::size_t>(j)];
+    m.dest = ring_->successor(m.key);
+    m.slot = slot;
     start_local(now, m);
   }
 }
@@ -110,7 +125,6 @@ void NetSimulator::issue_insert(SimTime now) {
 void NetSimulator::issue_lookup(SimTime now) {
   const std::uint64_t op = next_lookup_++;
   const std::uint32_t client = pick_client();
-  lookup_ops_.emplace(op, now);
   Message m;
   m.type = MsgType::kLookup;
   m.at = client;
@@ -118,17 +132,19 @@ void NetSimulator::issue_lookup(SimTime now) {
   m.client = client;
   m.op = op;
   m.key = rng::uniform01(candidates_);
+  m.dest = ring_->successor(m.key);
+  m.slot = lookup_ops_.emplace(LookupOp{now, op}).pack();
   start_local(now, m);
 }
 
 void NetSimulator::advance_phase(SimTime now) {
-  while (insert_ops_.size() < cfg_.window && next_insert_ < total_inserts_) {
+  while (insert_ops_.live() < cfg_.window && next_insert_ < total_inserts_) {
     issue_insert(now);
   }
   // Lookups measure the settled ring: they start only once every insert
   // has been acknowledged.
   if (done_inserts_ == total_inserts_) {
-    while (lookup_ops_.size() < cfg_.window && next_lookup_ < cfg_.lookups) {
+    while (lookup_ops_.live() < cfg_.window && next_lookup_ < cfg_.lookups) {
       issue_lookup(now);
     }
   }
@@ -153,7 +169,7 @@ bool NetSimulator::route_toward(SimTime now, Message& m,
 }
 
 void NetSimulator::on_probe(SimTime now, Message m) {
-  if (!route_toward(now, m, ring_->successor(m.key))) return;
+  if (!route_toward(now, m, m.dest)) return;
   const std::uint32_t here = m.at;
   Message r = m;
   r.type = MsgType::kProbeReply;
@@ -164,7 +180,10 @@ void NetSimulator::on_probe(SimTime now, Message m) {
 }
 
 void NetSimulator::on_probe_reply(SimTime now, const Message& m) {
-  auto& op = insert_ops_.at(m.op);
+  auto& op = insert_ops_.get(InsertPool::Handle::unpack(m.slot));
+  if (op.op != m.op) {
+    throw std::logic_error("NetSimulator: probe reply for a recycled op slot");
+  }
   op.owner[m.probe] = m.from;
   op.load[m.probe] = m.load;
   metrics_.probe_hops += m.hops;
@@ -210,6 +229,7 @@ void NetSimulator::on_probe_reply(SimTime now, const Message& m) {
   place.op = m.op;
   place.probe = static_cast<std::uint8_t>(best);
   place.load = op.load[bs];
+  place.slot = m.slot;
   send_link(now, place);
 }
 
@@ -226,8 +246,9 @@ void NetSimulator::on_place(SimTime now, const Message& m) {
 }
 
 void NetSimulator::on_place_ack(SimTime now, const Message& m) {
-  const double latency = now - insert_ops_.at(m.op).start;
-  insert_ops_.erase(m.op);
+  const auto h = InsertPool::Handle::unpack(m.slot);
+  const double latency = now - insert_ops_.get(h).start;
+  insert_ops_.release(h);
   metrics_.insert_latency.add(latency);
   metrics_.insert_latency_q.add(latency);
   ++metrics_.inserts;
@@ -236,7 +257,7 @@ void NetSimulator::on_place_ack(SimTime now, const Message& m) {
 }
 
 void NetSimulator::on_lookup(SimTime now, Message m) {
-  if (!route_toward(now, m, ring_->successor(m.key))) return;
+  if (!route_toward(now, m, m.dest)) return;
   Message r = m;
   r.type = MsgType::kLookupReply;
   r.at = m.client;
@@ -245,8 +266,13 @@ void NetSimulator::on_lookup(SimTime now, Message m) {
 }
 
 void NetSimulator::on_lookup_reply(SimTime now, const Message& m) {
-  const double latency = now - lookup_ops_.at(m.op);
-  lookup_ops_.erase(m.op);
+  const auto h = LookupPool::Handle::unpack(m.slot);
+  const LookupOp& op = lookup_ops_.get(h);
+  if (op.op != m.op) {
+    throw std::logic_error("NetSimulator: lookup reply for a recycled slot");
+  }
+  const double latency = now - op.start;
+  lookup_ops_.release(h);
   // Chord path length: finger-table consultations that forwarded the
   // query. The query is *resolved* at the owner's predecessor (which sees
   // key in (self, successor]); the final delivery hop onto the owner is
@@ -289,7 +315,8 @@ NetMetrics NetSimulator::run() {
   if (ran_) throw std::logic_error("NetSimulator::run: single-shot");
   ran_ = true;
   advance_phase(0.0);
-  while (!queue_.empty()) {
+  while (!queue_.empty() &&
+         (cfg_.max_events == 0 || metrics_.events < cfg_.max_events)) {
     const auto e = queue_.pop();
     ++metrics_.events;
     metrics_.end_time = e.time;

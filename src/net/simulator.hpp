@@ -3,9 +3,12 @@
 //
 // Execution model. Simulated nodes sit on a ChordRing with finger tables
 // (dht/chord.hpp). Every operation is a sequence of typed messages
-// (message.hpp) scheduled on one EventQueue (event_queue.hpp); each link
-// traversal costs one delay sampled from the configured LatencyModel
-// (latency.hpp). Inserting a key means: a random client draws the key's d
+// (message.hpp) scheduled on one calendar-queue EventQueue
+// (event_queue.hpp); each link traversal costs one delay sampled from the
+// configured LatencyModel (latency.hpp). In-flight insert/lookup records
+// live in core::ObjectPool slabs and messages carry their packed slot
+// handles, so the steady-state event loop runs allocation-free with no
+// per-op map lookups. Inserting a key means: a random client draws the key's d
 // candidate positions, routes a probe to each candidate's successor along
 // Chord fingers (one hop per forward), the owners reply with their
 // *current* load, and once all d replies are back the client places the
@@ -31,9 +34,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/object_pool.hpp"
 #include "core/tie_breaking.hpp"
 #include "dht/chord.hpp"
 #include "net/event_queue.hpp"
@@ -69,6 +72,10 @@ struct NetConfig {
   std::uint64_t trial = 0;
   /// Record the full executed-event trace (tests; costs memory).
   bool collect_trace = false;
+  /// Stop after executing this many events, leaving any remaining work —
+  /// including in-flight operations — unexecuted. 0 means run to drain.
+  /// Bounded runs are how tests tear the simulator down mid-flight.
+  std::uint64_t max_events = 0;
 
   [[nodiscard]] std::uint64_t insert_count() const noexcept {
     return keys == 0 ? static_cast<std::uint64_t>(nodes) : keys;
@@ -138,12 +145,24 @@ class NetSimulator {
   [[nodiscard]] static NetMetrics simulate(const NetConfig& cfg);
 
  private:
+  /// In-flight operation records live in core::ObjectPool slabs; messages
+  /// carry the packed pool handle, so reply handlers reach their op state
+  /// with one generation-checked array access instead of a map lookup, and
+  /// the steady-state loop allocates nothing. `op` is the sequential
+  /// operation id (what the trace hash folds), kept for integrity checks.
   struct InsertOp {
     SimTime start = 0.0;
+    std::uint64_t op = 0;
     std::array<std::uint32_t, kMaxChoices> owner{};
     std::array<std::uint32_t, kMaxChoices> load{};
     int replies = 0;
   };
+  struct LookupOp {
+    SimTime start = 0.0;
+    std::uint64_t op = 0;
+  };
+  using InsertPool = core::ObjectPool<InsertOp>;
+  using LookupPool = core::ObjectPool<LookupOp>;
 
   void issue_insert(SimTime now);
   void issue_lookup(SimTime now);
@@ -175,8 +194,8 @@ class NetSimulator {
   rng::DefaultEngine latency_;
   rng::DefaultEngine ties_;
   std::vector<std::uint32_t> loads_;
-  std::unordered_map<std::uint64_t, InsertOp> insert_ops_;
-  std::unordered_map<std::uint64_t, SimTime> lookup_ops_;
+  InsertPool insert_ops_;
+  LookupPool lookup_ops_;
   std::uint64_t next_insert_ = 0;
   std::uint64_t next_lookup_ = 0;
   std::uint64_t done_inserts_ = 0;

@@ -104,4 +104,49 @@ std::string render_net_summary(const NetScenarioConfig& cfg,
   return out;
 }
 
+std::vector<std::string> net_csv_header() {
+  return {"n",
+          "keys",
+          "d",
+          "window",
+          "latency",
+          "lat_a",
+          "lat_b",
+          "seed",
+          "trials",
+          "mean_hops",
+          "hops_p99",
+          "insert_lat_p50",
+          "insert_lat_p99",
+          "lookup_lat_p50",
+          "lookup_lat_p99",
+          "links_per_insert",
+          "stale_fraction",
+          "max_load_mean",
+          "max_load_max"};
+}
+
+std::vector<std::string> net_csv_row(const NetScenarioConfig& cfg,
+                                     const NetScenarioResult& r) {
+  return {std::to_string(cfg.net.nodes),
+          std::to_string(cfg.net.insert_count()),
+          std::to_string(cfg.net.choices),
+          std::to_string(cfg.net.window),
+          std::string(net::to_string(cfg.net.latency.kind)),
+          std::to_string(cfg.net.latency.a),
+          std::to_string(cfg.net.latency.b),
+          std::to_string(cfg.net.seed),
+          std::to_string(cfg.trials),
+          std::to_string(r.mean_lookup_hops),
+          std::to_string(r.lookup_hops_p99),
+          std::to_string(r.insert_latency_p50),
+          std::to_string(r.insert_latency_p99),
+          std::to_string(r.lookup_latency_p50),
+          std::to_string(r.lookup_latency_p99),
+          std::to_string(r.links_per_insert),
+          std::to_string(r.stale_fraction),
+          std::to_string(r.max_load.mean()),
+          std::to_string(r.max_load.max_value())};
+}
+
 }  // namespace geochoice::sim

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/simulator.hpp"
 #include "stats/histogram.hpp"
@@ -53,5 +54,12 @@ struct NetScenarioResult {
 /// paper-style max-load distribution block.
 [[nodiscard]] std::string render_net_summary(const NetScenarioConfig& cfg,
                                              const NetScenarioResult& r);
+
+/// CSV schema shared by `net_sim --csv` (one row per run) and
+/// `net_sim --sweep` (one row per grid cell): config echo plus the
+/// wire/staleness/max-load metrics the stale-information study charts.
+[[nodiscard]] std::vector<std::string> net_csv_header();
+[[nodiscard]] std::vector<std::string> net_csv_row(
+    const NetScenarioConfig& cfg, const NetScenarioResult& r);
 
 }  // namespace geochoice::sim
