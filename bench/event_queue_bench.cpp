@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "bench_json.hpp"
 #include "net/event_queue.hpp"
 #include "rng/rng.hpp"
+#include "sim/cli.hpp"
 
 namespace gb = geochoice::bench;
 namespace gn = geochoice::net;
@@ -73,22 +73,15 @@ double flood(std::size_t events) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_event_queue.json";
-  std::uint64_t ops = 2000000;
-  bool ops_given = false;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-      ops = std::strtoull(argv[++i], nullptr, 10);
-      ops_given = true;
-    } else if (!std::strcmp(argv[i], "--quick")) {
-      quick = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return 2;
-    }
+  const geochoice::sim::ArgParser args(argc, argv);
+  const std::string out_path =
+      args.get_string("out", "BENCH_event_queue.json");
+  const bool ops_given = args.has("ops");
+  std::uint64_t ops = args.get_u64("ops", 2000000);
+  const bool quick = args.has("quick");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
   }
   if (quick && !ops_given) ops = 400000;  // an explicit --ops wins
   const int warmup = 1;

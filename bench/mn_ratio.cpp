@@ -4,10 +4,12 @@
 // The paper: for m balls into n bins the maximum load is
 // O(m/n) + O(log log n / log d) w.h.p. This bench sweeps m/n and prints
 // mean max load and the overhead (max load - m/n), which should stay
-// nearly flat in m/n for d >= 2 and grow for d = 1.
+// nearly flat in m/n for d >= 2 and grow for d = 1. Every cell is one
+// sim::Scenario through sim::run — with --engine=auto the large-ratio
+// cells land on the batched engine automatically.
 //
-// Flags: --n=4096 --ratios=1,2,4,8,16,32 --trials=100 --seed=...
-//        --threads=... --csv=PATH
+// Flags: shared scenario flags (sim::scenario_from_args) plus
+//        --n=4096 --ratios=1,2,4,8,16,32 --csv=PATH
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -19,16 +21,28 @@ namespace gm = geochoice::sim;
 
 int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
-  const std::uint64_t n = args.get_u64("n", 1u << 12);
   const auto ratios = args.get_u64_list("ratios", {1, 2, 4, 8, 16, 32});
-  const std::uint64_t trials = args.get_u64("trials", 100);
-  const std::uint64_t seed = args.get_u64("seed", 0x6d6e726174696fULL);
-  const std::size_t threads = args.get_u64("threads", 0);
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kRing;
+  base.num_servers = 1u << 12;
+  base.trials = 100;
+  base.seed = 0x6d6e726174696fULL;
+  base = gm::scenario_from_args(args, base);
   const std::string csv_path = args.get_string("csv", "");
+  for (const char* axis : {"m", "d"}) {
+    if (args.has(axis)) {
+      std::fprintf(stderr,
+                   "--%s is a swept axis (m = ratio * n via --ratios, "
+                   "d = 1..3); drop it\n",
+                   axis);
+      return 2;
+    }
+  }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
   }
+  const std::uint64_t n = base.num_servers;
 
   std::unique_ptr<gm::CsvWriter> csv;
   if (!csv_path.empty()) {
@@ -41,22 +55,17 @@ int main(int argc, char** argv) {
       "Heavy load on the ring: n = %llu servers, m = ratio * n balls, "
       "%llu trials\n",
       static_cast<unsigned long long>(n),
-      static_cast<unsigned long long>(trials));
+      static_cast<unsigned long long>(base.trials));
   std::printf("%8s | %18s | %18s | %18s\n", "m/n", "d=1 (max, over)",
               "d=2 (max, over)", "d=3 (max, over)");
 
   for (std::uint64_t ratio : ratios) {
     std::printf("%8llu |", static_cast<unsigned long long>(ratio));
     for (int d = 1; d <= 3; ++d) {
-      gm::ExperimentConfig cfg;
-      cfg.space = gm::SpaceKind::kRing;
-      cfg.num_servers = n;
-      cfg.num_balls = ratio * n;
-      cfg.num_choices = d;
-      cfg.trials = trials;
-      cfg.seed = seed;
-      cfg.threads = threads;
-      const double mean = gm::run_max_load_experiment(cfg).mean();
+      gm::Scenario cell = base;
+      cell.num_balls = ratio * n;
+      cell.num_choices = d;
+      const double mean = gm::run(cell).max_load.mean();
       const double overhead = mean - static_cast<double>(ratio);
       std::printf("   %8.2f %7.2f |", mean, overhead);
       if (csv) {

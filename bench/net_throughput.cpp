@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "dht/dht.hpp"
 #include "net/net.hpp"
 #include "rng/rng.hpp"
+#include "sim/cli.hpp"
 
 namespace gb = geochoice::bench;
 namespace gd = geochoice::dht;
@@ -41,23 +41,14 @@ namespace gn = geochoice::net;
 namespace gr = geochoice::rng;
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_net.json";
-  std::uint64_t n = 1ull << 14;
-  std::uint64_t m = 1ull << 16;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--n") && i + 1 < argc) {
-      n = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--m") && i + 1 < argc) {
-      m = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--quick")) {
-      quick = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return 2;
-    }
+  const geochoice::sim::ArgParser args(argc, argv);
+  const std::string out_path = args.get_string("out", "BENCH_net.json");
+  std::uint64_t n = args.get_u64("n", 1ull << 14);
+  std::uint64_t m = args.get_u64("m", 1ull << 16);
+  const bool quick = args.has("quick");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
   }
   if (quick) {
     n = 1ull << 10;

@@ -6,11 +6,13 @@
 // d=1, log log n / log d + O(1) for d >= 2). The shape to verify: the
 // d = 1 column grows like log n while every d >= 2 column creeps at
 // log log n pace, and the geometric spaces track the uniform baseline
-// within an additive constant.
+// within an additive constant. Every cell is one sim::Scenario through
+// sim::run, so --spaces accepts any space the front door knows
+// (ring, torus, torus-nd, uniform, weighted, chord).
 //
-// Flags: --nmin-exp=8 --nmax-exp=16 (--nmax-exp=20 for the paper scale)
-//        --trials=100 --spaces=ring,uniform[,torus] --torus-max-exp=13
-//        --seed=... --threads=... --csv=PATH
+// Flags: shared scenario flags (sim::scenario_from_args) plus
+//        --nmin-exp=8 --nmax-exp=16 (--nmax-exp=20 for the paper scale)
+//        --spaces=ring,uniform[,torus,...] --torus-max-exp=13 --csv=PATH
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -27,12 +29,22 @@ int main(int argc, char** argv) {
   const std::uint64_t nmin_exp = args.get_u64("nmin-exp", 8);
   const std::uint64_t nmax_exp = args.get_u64("nmax-exp", 16);
   const std::uint64_t torus_max_exp = args.get_u64("torus-max-exp", 13);
-  const std::uint64_t trials = args.get_u64("trials", 100);
-  const std::uint64_t seed = args.get_u64("seed", 0x7363616c696e67ULL);
-  const std::size_t threads = args.get_u64("threads", 0);
+  gm::Scenario base;
+  base.trials = 100;
+  base.seed = 0x7363616c696e67ULL;
+  base = gm::scenario_from_args(args, base);
   const std::string spaces_arg =
       args.get_string("spaces", "ring,uniform,torus");
   const std::string csv_path = args.get_string("csv", "");
+  for (const char* axis : {"n", "d", "space"}) {
+    if (args.has(axis)) {
+      std::fprintf(stderr,
+                   "--%s is a swept axis (use --nmin-exp/--nmax-exp and "
+                   "--spaces); drop it\n",
+                   axis);
+      return 2;
+    }
+  }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
@@ -61,23 +73,24 @@ int main(int argc, char** argv) {
     std::printf(
         "\nmean max load, space = %s, %llu trials (m = n, random ties)\n",
         std::string(gm::to_string(space)).c_str(),
-        static_cast<unsigned long long>(trials));
+        static_cast<unsigned long long>(base.trials));
     std::printf("%8s %8s %8s %8s %8s | %10s %12s\n", "n", "d=1", "d=2",
                 "d=3", "d=4", "loglog/lg2", "1-choice");
-    const std::uint64_t cap =
-        space == gm::SpaceKind::kTorus ? torus_max_exp : nmax_exp;
+    // The 2-D (and n-d) torus spaces pay an O(n) nearest-site structure
+    // per trial; cap their sweep separately so the 1-D/uniform columns
+    // can still reach paper sizes.
+    const bool torus_like = space == gm::SpaceKind::kTorus ||
+                            space == gm::SpaceKind::kTorusNd;
+    const std::uint64_t cap = torus_like ? torus_max_exp : nmax_exp;
     for (std::uint64_t e = nmin_exp; e <= cap; e += 2) {
       const std::uint64_t n = 1ull << e;
       std::printf("%8s", gm::pow2_label(n).c_str());
       for (int d = 1; d <= 4; ++d) {
-        gm::ExperimentConfig cfg;
-        cfg.space = space;
-        cfg.num_servers = n;
-        cfg.num_choices = d;
-        cfg.trials = trials;
-        cfg.seed = seed;
-        cfg.threads = threads;
-        const auto hist = gm::run_max_load_experiment(cfg);
+        gm::Scenario cell = base;
+        cell.space = space;
+        cell.num_servers = n;
+        cell.num_choices = d;
+        const auto hist = gm::run(cell).max_load;
         std::printf(" %8.2f", hist.mean());
         if (csv) {
           csv->row({std::string(gm::to_string(space)), std::to_string(n),

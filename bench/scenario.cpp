@@ -1,0 +1,174 @@
+// scenario — the generic front door: run any sim::Scenario from flags.
+//
+// One binary for every engine × space × tie-break combination the
+// harness supports, plus a CI smoke mode that walks the whole dispatch
+// matrix so a gap fails the build instead of a user.
+//
+// Single-run mode (the default):
+//   scenario --space=torus --engine=batched --n=4096 --d=2 --trials=50
+// prints the resolved spec, timing, percentiles, and the max-load
+// distribution; --csv=PATH / --json=PATH mirror the report to files.
+// All flags are the shared scenario set (sim::scenario_from_args).
+//
+// Matrix mode:
+//   scenario --matrix [--quick]
+// runs every (engine × space) cell at small sizes, checks that every
+// supported combination produces a full histogram, that unsupported
+// combinations are rejected with std::invalid_argument, and that the
+// batched/sharded engines reproduce the scalar histogram bit-for-bit
+// under a deterministic tie-break. Exits nonzero on any deviation —
+// this is the CI gate for the dispatch table. --quick shrinks sizes to
+// CI-smoke scale (it is the mode CI runs in both compilers).
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace gm = geochoice::sim;
+namespace gc = geochoice::core;
+
+namespace {
+
+constexpr gm::SpaceKind kAllSpaces[] = {
+    gm::SpaceKind::kRing,     gm::SpaceKind::kTorus,
+    gm::SpaceKind::kUniform,  gm::SpaceKind::kTorusNd,
+    gm::SpaceKind::kWeighted, gm::SpaceKind::kChordNet,
+};
+constexpr gm::Engine kConcreteEngines[] = {
+    gm::Engine::kScalar, gm::Engine::kBatched, gm::Engine::kSharded};
+
+int run_matrix(bool quick) {
+  gm::Scenario base;
+  base.num_servers = quick ? 48 : 256;
+  base.num_balls = base.num_servers * 2;
+  base.num_choices = 2;
+  base.trials = quick ? 3 : 10;
+  base.seed = 0x6d617472697821ULL;  // "matrix!"
+  base.measure_samples = 1024;
+  int failures = 0;
+
+  std::printf("%-10s", "space");
+  for (const auto engine : kConcreteEngines) {
+    std::printf(" %12s", std::string(gm::to_string(engine)).c_str());
+  }
+  std::printf("   (mean max load; '-' = unsupported)\n");
+
+  for (const auto space : kAllSpaces) {
+    std::printf("%-10s", std::string(gm::to_string(space)).c_str());
+    // The deterministic tie-break makes supported engines bit-comparable
+    // cell-to-cell, so the matrix checks semantics, not just liveness.
+    gm::Scenario cell = base;
+    cell.space = space;
+    cell.tie = gc::TieBreak::kLowestIndex;
+    geochoice::stats::IntHistogram reference;
+    for (const auto engine : kConcreteEngines) {
+      cell.engine = engine;
+      if (!gm::engine_supports(engine, space)) {
+        bool rejected = false;
+        try {
+          (void)gm::run(cell);
+        } catch (const std::invalid_argument&) {
+          rejected = true;
+        }
+        if (!rejected) {
+          std::printf("\nFAIL: %s × %s should be rejected but ran\n",
+                      std::string(gm::to_string(engine)).c_str(),
+                      std::string(gm::to_string(space)).c_str());
+          ++failures;
+        }
+        std::printf(" %12s", "-");
+        continue;
+      }
+      try {
+        const auto report = gm::run(cell);
+        if (report.max_load.total() != cell.trials) {
+          std::printf("\nFAIL: %s × %s: %llu of %llu trials reported\n",
+                      std::string(gm::to_string(engine)).c_str(),
+                      std::string(gm::to_string(space)).c_str(),
+                      static_cast<unsigned long long>(
+                          report.max_load.total()),
+                      static_cast<unsigned long long>(cell.trials));
+          ++failures;
+        }
+        if (engine == gm::Engine::kScalar) {
+          reference = report.max_load;
+        } else if (!(report.max_load == reference)) {
+          std::printf("\nFAIL: %s × %s: histogram differs from scalar "
+                      "under a deterministic tie-break\n",
+                      std::string(gm::to_string(engine)).c_str(),
+                      std::string(gm::to_string(space)).c_str());
+          ++failures;
+        }
+        std::printf(" %12.2f", report.max_load.mean());
+      } catch (const std::exception& e) {
+        std::printf("\nFAIL: %s × %s threw: %s\n",
+                    std::string(gm::to_string(engine)).c_str(),
+                    std::string(gm::to_string(space)).c_str(), e.what());
+        ++failures;
+        std::printf(" %12s", "!");
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\nFAIL: %d dispatch-matrix cell(s) broken\n",
+                 failures);
+    return 1;
+  }
+  std::printf("\nOK: every engine × space cell behaves (%d spaces × %d "
+              "engines)\n",
+              static_cast<int>(std::size(kAllSpaces)),
+              static_cast<int>(std::size(kConcreteEngines)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  const bool matrix = args.has("matrix");
+  const bool quick = args.has("quick");
+  gm::Scenario sc;
+  std::string csv_path, json_path;
+  if (!matrix) {
+    sc = gm::scenario_from_args(args);
+    csv_path = args.get_string("csv", "");
+    json_path = args.get_string("json", "");
+  }
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+
+  if (matrix) return run_matrix(quick);
+
+  const auto report = gm::run(sc);
+  std::fputs(gm::render_run_summary(report).c_str(), stdout);
+
+  if (!csv_path.empty()) {
+    gm::CsvWriter csv(csv_path, gm::scenario_csv_header(report.spec));
+    csv.row(gm::scenario_csv_row(report));
+    std::printf("\nwrote %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << gm::scenario_json(report);
+    out.close();
+    if (out.fail()) {
+      std::fprintf(stderr, "FAIL: error writing %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

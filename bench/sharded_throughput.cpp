@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "bench_json.hpp"
 #include "core/core.hpp"
 #include "rng/rng.hpp"
+#include "sim/cli.hpp"
 #include "spaces/spaces.hpp"
 
 namespace gb = geochoice::bench;
@@ -42,23 +42,14 @@ using gb::measure;
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_sharded.json";
-  std::uint64_t n = 1ull << 16;
-  std::uint64_t m = 1ull << 24;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--n") && i + 1 < argc) {
-      n = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--m") && i + 1 < argc) {
-      m = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--quick")) {
-      quick = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return 2;
-    }
+  const geochoice::sim::ArgParser args(argc, argv);
+  const std::string out_path = args.get_string("out", "BENCH_sharded.json");
+  std::uint64_t n = args.get_u64("n", 1ull << 16);
+  std::uint64_t m = args.get_u64("m", 1ull << 24);
+  const bool quick = args.has("quick");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
   }
   if (quick) {
     n = 1ull << 13;

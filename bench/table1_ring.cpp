@@ -3,17 +3,17 @@
 // "Experimental maximum load with random arcs (m = n)": n servers hashed to
 // a unit circle, n balls, d in {1,2,3,4} independent uniform choices,
 // random tie-breaking, distribution of the maximum load over trials.
+// Every cell is one sim::Scenario through the sim::run front door, so the
+// engine (--engine=auto by default) and every shared flag behave exactly
+// as in the other scenario binaries.
 //
 // Defaults are sized for a quick single-core run (n up to 2^16, 200
 // trials); pass --full for the paper's n up to 2^24 with 1000 trials
 // (CPU-hours), or set --n=..., --trials=... directly.
 //
-// Flags:
+// Flags (shared scenario flags — see sim::scenario_from_args — plus):
 //   --n=256,4096,65536   comma-separated server counts
-//   --trials=200         trials per (n, d) cell
 //   --dmax=4             largest d
-//   --seed=...           master seed
-//   --threads=0          worker threads (0 = hardware)
 //   --csv=PATH           also write machine-readable rows
 //   --full               paper-scale sizes and 1000 trials
 #include <cstdio>
@@ -29,15 +29,22 @@ int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
   std::vector<std::uint64_t> sizes =
       args.get_u64_list("n", {1u << 8, 1u << 12, 1u << 16});
-  std::uint64_t trials = args.get_u64("trials", 200);
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kRing;
+  base.tie = geochoice::core::TieBreak::kRandom;
+  base.trials = 200;
+  base.seed = 0x7461626c653121ULL;
+  base = gm::scenario_from_args(args, base);
   if (args.has("full")) {
     sizes = {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24};
-    trials = 1000;
+    base.trials = 1000;
   }
   const int dmax = static_cast<int>(args.get_u64("dmax", 4));
-  const std::uint64_t seed = args.get_u64("seed", 0x7461626c653121ULL);
-  const std::size_t threads = args.get_u64("threads", 0);
   const std::string csv_path = args.get_string("csv", "");
+  if (args.has("d")) {
+    std::fprintf(stderr, "--d is a swept axis (1..dmax); drop it\n");
+    return 2;
+  }
 
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
@@ -59,15 +66,10 @@ int main(int argc, char** argv) {
     gm::TableRowBlock row;
     row.label = gm::pow2_label(n);
     for (int d = 1; d <= dmax; ++d) {
-      gm::ExperimentConfig cfg;
-      cfg.space = gm::SpaceKind::kRing;
-      cfg.num_servers = n;
-      cfg.num_choices = d;
-      cfg.tie = geochoice::core::TieBreak::kRandom;
-      cfg.trials = trials;
-      cfg.seed = seed;
-      cfg.threads = threads;
-      auto hist = gm::run_max_load_experiment(cfg);
+      gm::Scenario cell = base;
+      cell.num_servers = n;
+      cell.num_choices = d;
+      auto hist = gm::run(cell).max_load;
       if (csv) {
         for (const auto& [value, count] : hist.items()) {
           csv->row({std::to_string(n), std::to_string(d),
@@ -85,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf("%s", gm::render_table(
                         "Table 1: Experimental maximum load with random "
                         "arcs (m = n), " +
-                            std::to_string(trials) + " trials",
+                            std::to_string(base.trials) + " trials",
                         headers, rows)
                         .c_str());
   return 0;

@@ -2,13 +2,14 @@
 //
 // "Experimental maximum load with random torus polygons (m = n)": n servers
 // uniform on the unit torus, bins are Voronoi cells (nearest-server
-// ownership), n balls, d in {1..4}, random ties.
+// ownership), n balls, d in {1..4}, random ties. Every cell is one
+// sim::Scenario through the sim::run front door.
 //
 // Defaults: n up to 2^12, 100 trials (single-core friendly). --full runs
 // the paper's n up to 2^20 with 1000 trials.
 //
-// Flags: --n=..., --trials=..., --dmax=..., --seed=..., --threads=...,
-//        --csv=PATH, --full
+// Flags: shared scenario flags (sim::scenario_from_args) plus
+//        --n=... --dmax=... --csv=PATH --full
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -22,15 +23,21 @@ int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
   std::vector<std::uint64_t> sizes =
       args.get_u64_list("n", {1u << 8, 1u << 10, 1u << 12});
-  std::uint64_t trials = args.get_u64("trials", 100);
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kTorus;
+  base.trials = 100;
+  base.seed = 0x7461626c653221ULL;
+  base = gm::scenario_from_args(args, base);
   if (args.has("full")) {
     sizes = {1u << 8, 1u << 12, 1u << 16, 1u << 20};
-    trials = 1000;
+    base.trials = 1000;
   }
   const int dmax = static_cast<int>(args.get_u64("dmax", 4));
-  const std::uint64_t seed = args.get_u64("seed", 0x7461626c653221ULL);
-  const std::size_t threads = args.get_u64("threads", 0);
   const std::string csv_path = args.get_string("csv", "");
+  if (args.has("d")) {
+    std::fprintf(stderr, "--d is a swept axis (1..dmax); drop it\n");
+    return 2;
+  }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
@@ -51,14 +58,10 @@ int main(int argc, char** argv) {
     gm::TableRowBlock row;
     row.label = gm::pow2_label(n);
     for (int d = 1; d <= dmax; ++d) {
-      gm::ExperimentConfig cfg;
-      cfg.space = gm::SpaceKind::kTorus;
-      cfg.num_servers = n;
-      cfg.num_choices = d;
-      cfg.trials = trials;
-      cfg.seed = seed;
-      cfg.threads = threads;
-      auto hist = gm::run_max_load_experiment(cfg);
+      gm::Scenario cell = base;
+      cell.num_servers = n;
+      cell.num_choices = d;
+      auto hist = gm::run(cell).max_load;
       if (csv) {
         for (const auto& [value, count] : hist.items()) {
           csv->row({std::to_string(n), std::to_string(d),
@@ -77,7 +80,7 @@ int main(int argc, char** argv) {
               gm::render_table(
                   "Table 2: Experimental maximum load with random torus "
                   "polygons (m = n), " +
-                      std::to_string(trials) + " trials",
+                      std::to_string(base.trials) + " trials",
                   headers, rows)
                   .c_str());
   return 0;

@@ -3,10 +3,12 @@
 // "Experimental maximum load varying strategies for random arcs with d = 2
 // (m = n)": columns arc-larger / arc-random / arc-left / arc-smaller.
 // The paper's finding: arc-smaller is best (slightly better even than
-// Vöcking's scheme — see bench/vocking for that comparison).
+// Vöcking's scheme — see bench/vocking for that comparison). Each column
+// cell is one sim::Scenario with a different tie-break, all through the
+// sim::run front door.
 //
-// Flags: --n=..., --trials=..., --seed=..., --threads=..., --csv=PATH,
-//        --full
+// Flags: shared scenario flags (sim::scenario_from_args) plus
+//        --n=... --csv=PATH --full
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,14 +23,22 @@ int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
   std::vector<std::uint64_t> sizes =
       args.get_u64_list("n", {1u << 8, 1u << 12, 1u << 16});
-  std::uint64_t trials = args.get_u64("trials", 200);
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kRing;
+  base.num_choices = 2;
+  base.trials = 200;
+  base.seed = 0x7461626c653321ULL;
+  base = gm::scenario_from_args(args, base);
   if (args.has("full")) {
     sizes = {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24};
-    trials = 1000;
+    base.trials = 1000;
   }
-  const std::uint64_t seed = args.get_u64("seed", 0x7461626c653321ULL);
-  const std::size_t threads = args.get_u64("threads", 0);
   const std::string csv_path = args.get_string("csv", "");
+  if (args.has("tie")) {
+    std::fprintf(stderr,
+                 "--tie is a swept axis (the table's columns); drop it\n");
+    return 2;
+  }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
@@ -57,15 +67,10 @@ int main(int argc, char** argv) {
     gm::TableRowBlock row;
     row.label = gm::pow2_label(n);
     for (const auto& [name, tie] : strategies) {
-      gm::ExperimentConfig cfg;
-      cfg.space = gm::SpaceKind::kRing;
-      cfg.num_servers = n;
-      cfg.num_choices = 2;
-      cfg.tie = tie;
-      cfg.trials = trials;
-      cfg.seed = seed;
-      cfg.threads = threads;
-      auto hist = gm::run_max_load_experiment(cfg);
+      gm::Scenario cell = base;
+      cell.num_servers = n;
+      cell.tie = tie;
+      auto hist = gm::run(cell).max_load;
       if (csv) {
         for (const auto& [value, count] : hist.items()) {
           csv->row({std::to_string(n), name, std::to_string(value),
@@ -83,7 +88,7 @@ int main(int argc, char** argv) {
               gm::render_table(
                   "Table 3: Experimental maximum load varying strategies "
                   "for random arcs with d = 2 (m = n), " +
-                      std::to_string(trials) + " trials",
+                      std::to_string(base.trials) + " trials",
                   headers, rows)
                   .c_str());
   return 0;

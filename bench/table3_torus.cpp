@@ -5,9 +5,11 @@
 // measure: cell-larger / cell-random / cell-left / cell-smaller, d = 2,
 // m = n. The paper's reasoning (its bounds control the area of
 // heavily-loaded regions) predicts the same ordering, with cell-smaller
-// best — which is what this measures.
+// best — which is what this measures. Each cell is one sim::Scenario
+// through the sim::run front door.
 //
-// Flags: --n=256,1024,4096 --trials=100 --seed=... --threads=... --csv=PATH
+// Flags: shared scenario flags (sim::scenario_from_args) plus
+//        --n=256,1024,4096 --csv=PATH
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,10 +23,18 @@ namespace gc = geochoice::core;
 int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
   const auto sizes = args.get_u64_list("n", {1u << 8, 1u << 10, 1u << 12});
-  const std::uint64_t trials = args.get_u64("trials", 100);
-  const std::uint64_t seed = args.get_u64("seed", 0x7461626c653374ULL);
-  const std::size_t threads = args.get_u64("threads", 0);
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kTorus;
+  base.num_choices = 2;
+  base.trials = 100;
+  base.seed = 0x7461626c653374ULL;
+  base = gm::scenario_from_args(args, base);
   const std::string csv_path = args.get_string("csv", "");
+  if (args.has("tie")) {
+    std::fprintf(stderr,
+                 "--tie is a swept axis (the table's columns); drop it\n");
+    return 2;
+  }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
@@ -52,15 +62,10 @@ int main(int argc, char** argv) {
     gm::TableRowBlock row;
     row.label = gm::pow2_label(n);
     for (const auto& [name, tie] : strategies) {
-      gm::ExperimentConfig cfg;
-      cfg.space = gm::SpaceKind::kTorus;
-      cfg.num_servers = n;
-      cfg.num_choices = 2;
-      cfg.tie = tie;
-      cfg.trials = trials;
-      cfg.seed = seed;
-      cfg.threads = threads;
-      auto hist = gm::run_max_load_experiment(cfg);
+      gm::Scenario cell = base;
+      cell.num_servers = n;
+      cell.tie = tie;
+      auto hist = gm::run(cell).max_load;
       if (csv) {
         for (const auto& [value, count] : hist.items()) {
           csv->row({std::to_string(n), name, std::to_string(value),
@@ -78,7 +83,7 @@ int main(int argc, char** argv) {
               gm::render_table(
                   "Table 3 (torus extension): tie-breaking strategies with "
                   "exact Voronoi areas, d = 2 (m = n), " +
-                      std::to_string(trials) + " trials",
+                      std::to_string(base.trials) + " trials",
                   headers, rows)
                   .c_str());
   std::printf(

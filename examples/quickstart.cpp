@@ -1,49 +1,58 @@
 // quickstart — the geochoice public API in one page.
 //
-// Hash 10,000 servers onto a circle, insert 10,000 items with d = 1 and
-// d = 2 choices, and watch the power of two choices flatten the maximum
-// load from ~log n to ~log log n.
+// Declare a sim::Scenario (10,000 servers hashed onto a circle, m = n
+// items), run it through the one front door sim::run() for d = 1, 2, 3,
+// and watch the power of two choices flatten the maximum load from
+// ~log n to ~log log n. The same spec reaches every engine and space:
+// flip --space=torus or --engine=batched and nothing else changes.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -G Ninja && cmake --build build --target examples
+//   ./build/example_quickstart [--n=10000] [--space=ring] [--engine=auto]
 #include <cstdio>
 
-#include "core/core.hpp"
-#include "rng/rng.hpp"
-#include "spaces/ring_space.hpp"
+#include "core/theory.hpp"
+#include "sim/sim.hpp"
 
-namespace gc = geochoice::core;
-namespace gs = geochoice::spaces;
-namespace gr = geochoice::rng;
+namespace gm = geochoice::sim;
+namespace th = geochoice::core::theory;
 
-int main() {
-  constexpr std::size_t kServers = 10000;
-  gr::DefaultEngine gen(2024);
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
 
-  // 1. Hash servers uniformly onto the unit circle. Each server owns the
-  //    arc from its position to the next server's (consistent hashing).
-  const auto ring = gs::RingSpace::random(kServers, gen);
+  // 1. Declare the experiment: a consistent-hashing ring of n servers,
+  //    m = n items, a handful of trials. Every knob is a field (or the
+  //    equivalent shared flag — see sim::scenario_from_args).
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kRing;
+  base.num_servers = 10000;
+  base.trials = 10;
+  base.seed = 2024;
+  base = gm::scenario_from_args(args, base);
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
 
-  // 2. Insert m = n items. Each item hashes to d random circle positions
-  //    and joins the least-loaded owning server.
+  // 2. Run it for d = 1, 2, 3 choices. sim::run picks the fastest
+  //    capable engine (engine=auto) and returns the max-load
+  //    distribution over trials.
   for (const int d : {1, 2, 3}) {
-    gc::ProcessOptions opt;
-    opt.num_balls = kServers;
-    opt.num_choices = d;
-    opt.tie = gc::TieBreak::kRandom;
-
-    auto balls = gr::DefaultEngine(7);  // same items for every d
-    const gc::ProcessResult result = gc::run_process(ring, opt, balls);
-
-    std::printf("d = %d:  max load = %2u   (bins with >= 3 items: %zu)\n", d,
-                result.max_load, result.bins_with_load_at_least(3));
+    gm::Scenario sc = base;
+    sc.num_choices = d;
+    const gm::RunReport report = gm::run(sc);
+    std::printf(
+        "d = %d:  mean max load = %5.2f   (engine: %s, p99 = %.1f)\n", d,
+        report.max_load.mean(),
+        std::string(gm::to_string(report.spec.engine)).c_str(),
+        report.quantile_values.back());
   }
 
   // 3. Compare with the theory: the d >= 2 max load is
   //    log log n / log d + O(1).
+  const double n = static_cast<double>(base.num_servers);
   std::printf("\ntheory: log log n / log 2 = %.2f, largest arc ~ %.1f/n\n",
-              gc::theory::loglog_bound(kServers, 2),
-              gc::theory::single_choice_geometric_scale(kServers));
+              th::loglog_bound(n, 2),
+              th::single_choice_geometric_scale(n));
   return 0;
 }

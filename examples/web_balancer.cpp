@@ -9,33 +9,74 @@
 // the one-shot placement of Theorem 1, queueing on skewed arcs leaves the
 // big-arc servers busy, so capacity planning must treat the two cases
 // differently (see bench/supermarket and EXPERIMENTS.md E15).
+//
+// The one-shot side of that comparison runs through the sim::Scenario
+// front door, on the same fleet size and flags as every other scenario
+// binary: --n/--seed/--trials/--engine plus --lambda for the queueing
+// section.
 #include <cstdio>
 
 #include "core/supermarket.hpp"
 #include "rng/rng.hpp"
+#include "sim/sim.hpp"
 #include "spaces/ring_space.hpp"
 #include "spaces/uniform_space.hpp"
 
 namespace gc = geochoice::core;
+namespace gm = geochoice::sim;
 namespace gs = geochoice::spaces;
 namespace gr = geochoice::rng;
 
-int main() {
-  constexpr std::size_t kServers = 1000;
-  gr::DefaultEngine gen(4242);
-  const auto ring = gs::RingSpace::random(kServers, gen);
-  const gs::UniformSpace balanced(kServers);  // idealized perfect sharding
+int main(int argc, char** argv) {
+  const gm::ArgParser args(argc, argv);
+  gm::Scenario base;
+  base.space = gm::SpaceKind::kRing;
+  base.num_servers = 1000;
+  base.num_choices = 2;
+  base.trials = 20;
+  base.seed = 4242;
+  base = gm::scenario_from_args(args, base);
+  const double lambda = args.get_double("lambda", 0.85);
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    return 2;
+  }
+  const std::size_t servers = base.num_servers;
+
+  // --- One-shot placement (Theorem 1), via the front door: the same
+  // fleet under hash-ring shards vs idealized uniform shards. Two
+  // choices close most of the gap.
+  const auto ring_report = gm::run(base);
+  gm::Scenario uniform = base;
+  uniform.space = gm::SpaceKind::kUniform;
+  const auto uniform_report = gm::run(uniform);
+
+  std::printf(
+      "Edge fleet: %zu servers, one-shot placement of %llu items with 2 "
+      "routes (%llu trials via sim::run, engine %s)\n\n",
+      servers, static_cast<unsigned long long>(base.balls()),
+      static_cast<unsigned long long>(base.trials),
+      std::string(gm::to_string(ring_report.spec.engine)).c_str());
+  std::printf("%-26s %14s %14s\n", "", "ideal shards", "hash-ring shards");
+  std::printf("%-26s %14.2f %14.2f\n", "mean max load",
+              uniform_report.max_load.mean(), ring_report.max_load.mean());
+
+  // --- Queueing (supermarket model): the same skew now hurts, because
+  // service keeps flowing to the big arcs.
+  gr::DefaultEngine gen(base.seed);
+  const auto ring = gs::RingSpace::random(servers, gen);
+  const gs::UniformSpace balanced(servers);  // idealized perfect sharding
 
   gc::SupermarketOptions opt;
-  opt.lambda = 0.85;       // 85% utilization
-  opt.num_choices = 2;     // primary + fallback route
+  opt.lambda = lambda;          // default 85% utilization
+  opt.num_choices = base.num_choices;
   opt.warmup_time = 20.0;
   opt.measure_time = 80.0;
 
   std::printf(
-      "Edge fleet: %zu servers, Poisson arrivals at 85%% utilization, "
-      "join-shorter-queue with 2 routes\n\n",
-      kServers);
+      "\nQueueing: Poisson arrivals at %.0f%% utilization, "
+      "join-shorter-queue with %d routes\n\n",
+      lambda * 100.0, base.num_choices);
 
   auto g1 = gr::DefaultEngine(1);
   const auto ideal = gc::run_supermarket(balanced, opt, g1);
@@ -51,11 +92,12 @@ int main() {
               skewed.peak_queue);
 
   std::printf(
-      "\nReading: with uniform shards, two choices make queues >= 4 "
-      "essentially extinct; with raw hash-ring shards the long-arc "
-      "servers stay hot. Fix the shard sizes (virtual servers / "
-      "rebalancing) OR accept the higher baseline — two routes alone "
-      "bound the *peak* but not the bulk. Compare examples/chord_dht for "
-      "the one-shot placement setting, where two choices alone suffice.\n");
+      "\nReading: in one-shot placement two choices nearly erase the "
+      "hash-ring skew; under queueing, with uniform shards two choices "
+      "make queues >= 4 essentially extinct while raw hash-ring shards "
+      "keep the long-arc servers hot. Fix the shard sizes (virtual "
+      "servers / rebalancing) OR accept the higher baseline — two routes "
+      "alone bound the *peak* but not the bulk. Compare "
+      "examples/chord_dht for more of the one-shot setting.\n");
   return 0;
 }

@@ -14,40 +14,58 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
                                   std::string(arg));
     }
     arg.remove_prefix(2);
+    std::string name;
+    Entry entry;
     const std::size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      values_[std::string(arg.substr(0, eq))] =
-          std::string(arg.substr(eq + 1));
-      continue;
-    }
-    // "--flag value" when the next token is not itself a flag.
-    if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") ==
-                            false) {
-      values_[std::string(arg)] = argv[++i];
+      // "--flag=value"; "--flag=" is an explicit empty value.
+      name = std::string(arg.substr(0, eq));
+      entry.value = std::string(arg.substr(eq + 1));
+      entry.has_value = true;
+    } else if (i + 1 < argc &&
+               !std::string_view(argv[i + 1]).starts_with("--")) {
+      // "--flag value" when the next token is not itself a flag.
+      name = std::string(arg);
+      entry.value = argv[++i];
+      entry.has_value = true;
     } else {
-      values_[std::string(arg)] = "";  // boolean flag
+      name = std::string(arg);  // bare boolean flag
+    }
+    if (!values_.emplace(name, std::move(entry)).second) {
+      throw std::invalid_argument("duplicate flag: --" + name);
     }
   }
   for (const auto& [k, v] : values_) used_[k] = false;
 }
 
-std::optional<std::string> ArgParser::raw(std::string_view flag) const {
+const ArgParser::Entry* ArgParser::raw(std::string_view flag) const {
   std::string_view name = flag;
   if (name.starts_with("--")) name.remove_prefix(2);
   const auto it = values_.find(name);
-  if (it == values_.end()) return std::nullopt;
+  if (it == values_.end()) return nullptr;
   used_[it->first] = true;
-  return it->second;
+  return &it->second;
+}
+
+std::optional<std::string> ArgParser::value_of(std::string_view flag,
+                                               bool reject_empty) const {
+  const Entry* e = raw(flag);
+  if (!e || !e->has_value) return std::nullopt;  // absent or bare boolean
+  if (e->value.empty() && reject_empty) {
+    throw std::invalid_argument("flag " + std::string(flag) +
+                                ": empty value");
+  }
+  return e->value;
 }
 
 bool ArgParser::has(std::string_view flag) const {
-  return raw(flag).has_value();
+  return raw(flag) != nullptr;
 }
 
 std::uint64_t ArgParser::get_u64(std::string_view flag,
                                  std::uint64_t fallback) const {
-  const auto v = raw(flag);
-  if (!v || v->empty()) return fallback;
+  const auto v = value_of(flag, /*reject_empty=*/true);
+  if (!v) return fallback;
   std::uint64_t out = 0;
   const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(),
                                          out);
@@ -59,8 +77,8 @@ std::uint64_t ArgParser::get_u64(std::string_view flag,
 }
 
 double ArgParser::get_double(std::string_view flag, double fallback) const {
-  const auto v = raw(flag);
-  if (!v || v->empty()) return fallback;
+  const auto v = value_of(flag, /*reject_empty=*/true);
+  if (!v) return fallback;
   try {
     std::size_t pos = 0;
     const double out = std::stod(*v, &pos);
@@ -74,15 +92,15 @@ double ArgParser::get_double(std::string_view flag, double fallback) const {
 
 std::string ArgParser::get_string(std::string_view flag,
                                   std::string fallback) const {
-  const auto v = raw(flag);
-  if (!v || v->empty()) return fallback;
+  const auto v = value_of(flag, /*reject_empty=*/false);
+  if (!v) return fallback;
   return *v;
 }
 
 std::vector<std::uint64_t> ArgParser::get_u64_list(
     std::string_view flag, std::vector<std::uint64_t> fallback) const {
-  const auto v = raw(flag);
-  if (!v || v->empty()) return fallback;
+  const auto v = value_of(flag, /*reject_empty=*/true);
+  if (!v) return fallback;
   std::vector<std::uint64_t> out;
   std::size_t start = 0;
   while (start <= v->size()) {

@@ -2,7 +2,15 @@
 //
 // Every table-reproduction binary accepts the same conventions:
 //   --flag=value   or   --flag value   or bare   --flag   (boolean)
-// Unknown flags are an error (catches typos in experiment sweeps).
+// Unknown flags are an error (catches typos in experiment sweeps — call
+// unused() at the end of main), and so are duplicate flags (catches
+// copy-paste slips like `--n=256 --n=4096`, where silently keeping one
+// value would corrupt a sweep).
+//
+// Empty-value semantics: a bare `--flag` is a boolean — has() is true
+// and every value getter returns its fallback. `--flag=` is an
+// *explicit empty value*: get_string returns "" (not the fallback), and
+// the numeric getters throw, because an empty string is not a number.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,8 @@ namespace geochoice::sim {
 
 class ArgParser {
  public:
+  /// Throws std::invalid_argument on positional arguments and on a flag
+  /// given more than once (in any mix of forms).
   ArgParser(int argc, const char* const* argv);
 
   /// True if the flag was given (with or without a value).
@@ -41,10 +51,19 @@ class ArgParser {
   }
 
  private:
-  [[nodiscard]] std::optional<std::string> raw(std::string_view flag) const;
+  struct Entry {
+    std::string value;
+    bool has_value = false;  // false for a bare boolean `--flag`
+  };
+
+  [[nodiscard]] const Entry* raw(std::string_view flag) const;
+  /// The flag's value, or nullopt for absent flags AND bare booleans.
+  /// Throws for `--flag=` when `reject_empty` (numeric getters).
+  [[nodiscard]] std::optional<std::string> value_of(std::string_view flag,
+                                                    bool reject_empty) const;
 
   std::string program_;
-  std::map<std::string, std::string, std::less<>> values_;
+  std::map<std::string, Entry, std::less<>> values_;
   mutable std::map<std::string, bool, std::less<>> used_;
 };
 

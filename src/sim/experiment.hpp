@@ -1,28 +1,21 @@
-// experiment.hpp — configuration and runner for max-load experiments.
+// experiment.hpp — the historical max-load experiment API, now a thin
+// shim over the sim::Scenario front door (scenario.hpp).
 //
-// One ExperimentConfig describes one cell of a paper table: a space kind,
-// n servers, m balls, d choices, a tie-break strategy, and a trial count.
-// run_max_load_experiment() executes the trials in parallel (deterministic
-// in the master seed regardless of thread count) and returns the
-// distribution of the maximum load — exactly what Tables 1–3 report.
+// ExperimentConfig predates Scenario and maps onto it field-for-field
+// (same names, same defaults); to_scenario() is the migration in code
+// form. run_max_load_experiment() pins the historical semantics — the
+// scalar engine over the trial streams it has always used — so every
+// golden value stays bit-identical. New code should construct a
+// Scenario directly: it reaches all three engines and all six spaces.
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "core/process.hpp"
+#include "sim/scenario.hpp"
 #include "stats/histogram.hpp"
 
 namespace geochoice::sim {
-
-enum class SpaceKind {
-  kRing,     // arcs on the circle (Table 1, Table 3)
-  kTorus,    // Voronoi cells on the unit torus (Table 2)
-  kUniform,  // classic equiprobable bins (Azar et al. baseline)
-};
-
-[[nodiscard]] std::string_view to_string(SpaceKind k) noexcept;
-[[nodiscard]] SpaceKind space_kind_from_string(std::string_view name);
 
 struct ExperimentConfig {
   SpaceKind space = SpaceKind::kRing;
@@ -40,7 +33,26 @@ struct ExperimentConfig {
   }
 };
 
-/// Distribution of max load over the configured trials.
+/// The equivalent Scenario. Engine is pinned to kScalar — the engine the
+/// pre-Scenario runner always used — so results are bit-compatible with
+/// every histogram this API ever produced.
+[[nodiscard]] inline Scenario to_scenario(const ExperimentConfig& cfg) {
+  Scenario sc;
+  sc.space = cfg.space;
+  sc.num_servers = cfg.num_servers;
+  sc.num_balls = cfg.num_balls;
+  sc.num_choices = cfg.num_choices;
+  sc.tie = cfg.tie;
+  sc.scheme = cfg.scheme;
+  sc.trials = cfg.trials;
+  sc.seed = cfg.seed;
+  sc.threads = cfg.threads;
+  sc.engine = Engine::kScalar;
+  return sc;
+}
+
+/// Distribution of max load over the configured trials
+/// (= run(to_scenario(cfg)).max_load).
 [[nodiscard]] stats::IntHistogram run_max_load_experiment(
     const ExperimentConfig& cfg);
 

@@ -1,86 +1,15 @@
+// runner.cpp — the historical experiment entry points as shims over the
+// sim::Scenario front door. The trial/stream derivation lives in
+// scenario.cpp; these calls are bit-identical to the pre-Scenario
+// implementation (pinned by tests/test_golden.cpp).
 #include "sim/experiment.hpp"
 
-#include <stdexcept>
-
-#include "parallel/trial_runner.hpp"
-#include "rng/streams.hpp"
-#include "spaces/ring_space.hpp"
-#include "spaces/torus_space.hpp"
-#include "spaces/uniform_space.hpp"
+#include "sim/scenario.hpp"
 
 namespace geochoice::sim {
 
-std::string_view to_string(SpaceKind k) noexcept {
-  switch (k) {
-    case SpaceKind::kRing:
-      return "ring";
-    case SpaceKind::kTorus:
-      return "torus";
-    case SpaceKind::kUniform:
-      return "uniform";
-  }
-  return "?";
-}
-
-SpaceKind space_kind_from_string(std::string_view name) {
-  if (name == "ring") return SpaceKind::kRing;
-  if (name == "torus") return SpaceKind::kTorus;
-  if (name == "uniform") return SpaceKind::kUniform;
-  throw std::invalid_argument("unknown space kind: " + std::string(name));
-}
-
-namespace {
-
-core::ProcessOptions process_options(const ExperimentConfig& cfg) {
-  core::ProcessOptions opt;
-  opt.num_balls = cfg.balls();
-  opt.num_choices = cfg.num_choices;
-  opt.tie = cfg.tie;
-  opt.scheme = cfg.scheme;
-  return opt;
-}
-
-/// One trial: build the trial's space from its kServerPlacement substream,
-/// then run the process on its kBallChoices substream.
-std::uint32_t one_trial(const ExperimentConfig& cfg, std::uint64_t trial) {
-  auto servers = rng::make_stream(cfg.seed, trial,
-                                  rng::StreamPurpose::kServerPlacement);
-  auto balls =
-      rng::make_stream(cfg.seed, trial, rng::StreamPurpose::kBallChoices);
-  const core::ProcessOptions opt = process_options(cfg);
-  switch (cfg.space) {
-    case SpaceKind::kRing: {
-      const auto space = spaces::RingSpace::random(cfg.num_servers, servers);
-      return core::run_process(space, opt, balls).max_load;
-    }
-    case SpaceKind::kTorus: {
-      auto space = spaces::TorusSpace::random(cfg.num_servers, servers);
-      if (core::needs_region_measure(cfg.tie)) space.ensure_measures();
-      return core::run_process(space, opt, balls).max_load;
-    }
-    case SpaceKind::kUniform: {
-      const spaces::UniformSpace space(cfg.num_servers);
-      return core::run_process(space, opt, balls).max_load;
-    }
-  }
-  throw std::logic_error("unreachable space kind");
-}
-
-}  // namespace
-
 stats::IntHistogram run_max_load_experiment(const ExperimentConfig& cfg) {
-  if (cfg.trials == 0) {
-    throw std::invalid_argument("run_max_load_experiment: zero trials");
-  }
-  const auto max_loads = parallel::run_trials(
-      cfg.trials, cfg.seed,
-      [&cfg](std::uint64_t trial, rng::DefaultEngine& /*unused*/) {
-        return one_trial(cfg, trial);
-      },
-      cfg.threads);
-  stats::IntHistogram hist;
-  for (std::uint32_t v : max_loads) hist.add(v);
-  return hist;
+  return run(to_scenario(cfg)).max_load;
 }
 
 double mean_max_load(const ExperimentConfig& cfg) {

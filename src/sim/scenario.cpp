@@ -1,0 +1,540 @@
+#include "sim/scenario.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/batch_process.hpp"
+#include "core/sharded_process.hpp"
+#include "dht/chord.hpp"
+#include "net/chord_space.hpp"
+#include "parallel/trial_runner.hpp"
+#include "rng/streams.hpp"
+#include "sim/cli.hpp"
+#include "sim/table_format.hpp"
+#include "spaces/ring_space.hpp"
+#include "spaces/torus_nd_space.hpp"
+#include "spaces/torus_space.hpp"
+#include "spaces/uniform_space.hpp"
+#include "spaces/weighted_space.hpp"
+
+namespace geochoice::sim {
+
+std::string_view to_string(SpaceKind k) noexcept {
+  switch (k) {
+    case SpaceKind::kRing:
+      return "ring";
+    case SpaceKind::kTorus:
+      return "torus";
+    case SpaceKind::kUniform:
+      return "uniform";
+    case SpaceKind::kTorusNd:
+      return "torus-nd";
+    case SpaceKind::kWeighted:
+      return "weighted";
+    case SpaceKind::kChordNet:
+      return "chord";
+  }
+  return "?";
+}
+
+SpaceKind space_kind_from_string(std::string_view name) {
+  if (name == "ring") return SpaceKind::kRing;
+  if (name == "torus") return SpaceKind::kTorus;
+  if (name == "uniform") return SpaceKind::kUniform;
+  if (name == "torus-nd" || name == "torusnd") return SpaceKind::kTorusNd;
+  if (name == "weighted") return SpaceKind::kWeighted;
+  if (name == "chord" || name == "chord-net") return SpaceKind::kChordNet;
+  throw std::invalid_argument("unknown space kind: " + std::string(name));
+}
+
+std::string_view to_string(Engine e) noexcept {
+  switch (e) {
+    case Engine::kScalar:
+      return "scalar";
+    case Engine::kBatched:
+      return "batched";
+    case Engine::kSharded:
+      return "sharded";
+    case Engine::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+Engine engine_from_string(std::string_view name) {
+  if (name == "scalar") return Engine::kScalar;
+  if (name == "batched") return Engine::kBatched;
+  if (name == "sharded") return Engine::kSharded;
+  if (name == "auto") return Engine::kAuto;
+  throw std::invalid_argument("unknown engine: " + std::string(name));
+}
+
+bool engine_supports(Engine engine, SpaceKind space) noexcept {
+  if (engine != Engine::kSharded) return true;
+  return space == SpaceKind::kRing || space == SpaceKind::kTorus ||
+         space == SpaceKind::kUniform;
+}
+
+namespace {
+
+[[nodiscard]] std::size_t resolve_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+Engine resolve_engine(const Scenario& sc) noexcept {
+  if (sc.engine != Engine::kAuto) return sc.engine;
+  const bool geometric_bulk =
+      sc.space == SpaceKind::kRing || sc.space == SpaceKind::kTorus;
+  if (!geometric_bulk) return Engine::kScalar;
+  const std::uint64_t m = sc.balls();
+  if (m >= (1ull << 22) && resolve_threads(sc.threads) >= 4) {
+    return Engine::kSharded;
+  }
+  if (m >= 4096) return Engine::kBatched;
+  return Engine::kScalar;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TrialOutcome {
+  std::uint32_t max_load = 0;
+  double seconds = 0.0;
+};
+
+core::ProcessOptions process_options(const Scenario& sc) {
+  core::ProcessOptions opt;
+  opt.num_balls = sc.balls();
+  opt.num_choices = sc.num_choices;
+  opt.tie = sc.tie;
+  opt.scheme = sc.scheme;
+  return opt;
+}
+
+/// The Chord space borrows its ring, so the trial's factory hands back a
+/// box owning both; the unique_ptr keeps the ring address stable across
+/// box moves.
+struct ChordNetBox {
+  std::unique_ptr<dht::ChordRing> ring;
+  net::ChordSuccessorSpace space;
+};
+
+template <typename S>
+const S& space_of(const S& s) {
+  return s;
+}
+const net::ChordSuccessorSpace& space_of(const ChordNetBox& b) {
+  return b.space;
+}
+
+/// Run one trial's balls through the resolved engine. The ball stream is
+/// shared across engines, which is what makes deterministic-tie results
+/// bit-identical engine-to-engine.
+template <typename S>
+std::uint32_t drive_engine(const S& space, Engine engine,
+                           const core::ProcessOptions& opt,
+                           rng::DefaultEngine& balls,
+                           const Scenario& sc,
+                           parallel::ThreadPool* pool) {
+  switch (engine) {
+    case Engine::kScalar:
+      return core::run_process(space, opt, balls).max_load;
+    case Engine::kBatched:
+      return core::run_batch_process(space, opt, balls).max_load;
+    case Engine::kSharded:
+      if constexpr (core::ShardableSpace<S>) {
+        core::ShardedOptions sharded;
+        sharded.threads = sc.threads;
+        return core::run_sharded_process(space, opt, balls, sharded, pool)
+            .max_load;
+      } else {
+        // Unreachable: run() validates engine_supports() up front. Kept
+        // as a throw so a future dispatch-table gap fails loudly instead
+        // of instantiating run_sharded_process on a non-shardable space.
+        throw std::logic_error("sharded engine on non-shardable space");
+      }
+    case Engine::kAuto:
+      break;
+  }
+  throw std::logic_error("drive_engine: unresolved engine");
+}
+
+/// Execute all trials for one concrete space type. `make_space(trial,
+/// servers_engine)` builds the trial's space (or box) from its
+/// kServerPlacement substream — the same derivation run_max_load_experiment
+/// has always used, which keeps the shim bit-compatible.
+template <typename MakeSpace>
+std::vector<TrialOutcome> run_trials_with(const Scenario& sc, Engine engine,
+                                          MakeSpace&& make_space) {
+  const core::ProcessOptions opt = process_options(sc);
+
+  auto one_trial = [&](std::uint64_t trial,
+                       parallel::ThreadPool* pool) -> TrialOutcome {
+    auto servers = rng::make_stream(sc.seed, trial,
+                                    rng::StreamPurpose::kServerPlacement);
+    auto balls =
+        rng::make_stream(sc.seed, trial, rng::StreamPurpose::kBallChoices);
+    const auto t0 = Clock::now();
+    const auto box = make_space(trial, servers);
+    const std::uint32_t max_load =
+        drive_engine(space_of(box), engine, opt, balls, sc, pool);
+    const auto t1 = Clock::now();
+    return {max_load, std::chrono::duration<double>(t1 - t0).count()};
+  };
+
+  if (engine == Engine::kSharded) {
+    // Few-huge-trials regime: trials run back-to-back, each spreading its
+    // resolve pass over one shared worker pool (run_sharded_trials's
+    // pattern). Results are still indexed by trial, so the report is
+    // identical in shape to the parallel-trials path.
+    parallel::ThreadPool pool(sc.threads);
+    std::vector<TrialOutcome> out(sc.trials);
+    for (std::uint64_t t = 0; t < sc.trials; ++t) out[t] = one_trial(t, &pool);
+    return out;
+  }
+  return parallel::run_trials(
+      sc.trials, sc.seed,
+      [&](std::uint64_t trial, rng::DefaultEngine& /*unused*/) {
+        return one_trial(trial, nullptr);
+      },
+      sc.threads);
+}
+
+template <int D>
+std::vector<TrialOutcome> run_torus_nd(const Scenario& sc, Engine engine,
+                                       std::uint64_t measure_samples) {
+  return run_trials_with(sc, engine, [&](std::uint64_t,
+                                         rng::DefaultEngine& servers) {
+    auto space = spaces::TorusNdSpace<D>::random(sc.num_servers, servers);
+    if (core::needs_region_measure(sc.tie)) {
+      space.estimate_measures(measure_samples, servers);
+    }
+    return space;
+  });
+}
+
+/// The space registry: kind -> factory, engine threaded through. Adding a
+/// space means adding a case here (and a capability row in
+/// engine_supports if it cannot shard) — nothing else in the harness or
+/// the binaries changes.
+std::vector<TrialOutcome> run_space(const Scenario& sc, Engine engine,
+                                    std::uint64_t measure_samples) {
+  switch (sc.space) {
+    case SpaceKind::kRing:
+      return run_trials_with(
+          sc, engine, [&](std::uint64_t, rng::DefaultEngine& servers) {
+            return spaces::RingSpace::random(sc.num_servers, servers);
+          });
+    case SpaceKind::kTorus:
+      return run_trials_with(
+          sc, engine, [&](std::uint64_t, rng::DefaultEngine& servers) {
+            auto space = spaces::TorusSpace::random(sc.num_servers, servers);
+            if (core::needs_region_measure(sc.tie)) space.ensure_measures();
+            return space;
+          });
+    case SpaceKind::kUniform:
+      return run_trials_with(sc, engine,
+                             [&](std::uint64_t, rng::DefaultEngine&) {
+                               return spaces::UniformSpace(sc.num_servers);
+                             });
+    case SpaceKind::kTorusNd:
+      switch (sc.torus_dims) {
+        case 1:
+          return run_torus_nd<1>(sc, engine, measure_samples);
+        case 2:
+          return run_torus_nd<2>(sc, engine, measure_samples);
+        case 3:
+          return run_torus_nd<3>(sc, engine, measure_samples);
+        case 4:
+          return run_torus_nd<4>(sc, engine, measure_samples);
+        default:
+          break;
+      }
+      throw std::invalid_argument("run: torus_dims must be in [1, 4]");
+    case SpaceKind::kWeighted:
+      return run_trials_with(
+          sc, engine, [&](std::uint64_t, rng::DefaultEngine&) {
+            return spaces::WeightedSpace::zipf(sc.num_servers, sc.zipf_alpha);
+          });
+    case SpaceKind::kChordNet:
+      return run_trials_with(
+          sc, engine, [&](std::uint64_t, rng::DefaultEngine& servers) {
+            auto ring = std::make_unique<dht::ChordRing>(
+                dht::ChordRing::random(sc.num_servers, servers));
+            net::ChordSuccessorSpace space(*ring);
+            return ChordNetBox{std::move(ring), space};
+          });
+  }
+  throw std::logic_error("run: unreachable space kind");
+}
+
+/// All throws the worker threads could otherwise hit, surfaced on the
+/// calling thread with scenario-level messages (the pool does not
+/// propagate exceptions).
+void validate(const Scenario& sc, Engine engine) {
+  if (sc.trials == 0) throw std::invalid_argument("run: zero trials");
+  if (sc.num_servers == 0) throw std::invalid_argument("run: zero servers");
+  if (sc.num_choices < 1) {
+    throw std::invalid_argument("run: need at least one choice");
+  }
+  if (!engine_supports(engine, sc.space)) {
+    throw std::invalid_argument(
+        "run: the sharded engine needs a shard_of() partition "
+        "(ring/torus/uniform); space '" +
+        std::string(to_string(sc.space)) + "' has none");
+  }
+  if (sc.scheme == core::ChoiceScheme::kPartitioned &&
+      sc.space != SpaceKind::kRing && sc.space != SpaceKind::kChordNet) {
+    throw std::invalid_argument(
+        "run: partitioned sampling requires a ring-like space");
+  }
+  if (sc.space == SpaceKind::kTorusNd &&
+      (sc.torus_dims < 1 || sc.torus_dims > 4)) {
+    throw std::invalid_argument("run: torus_dims must be in [1, 4]");
+  }
+  for (const double q : sc.quantiles) {
+    if (!(q > 0.0 && q < 1.0)) {
+      throw std::invalid_argument("run: quantiles must lie in (0, 1)");
+    }
+  }
+}
+
+}  // namespace
+
+RunReport run(const Scenario& sc) {
+  const Engine engine = resolve_engine(sc);
+  validate(sc, engine);
+  const std::uint64_t measure_samples =
+      sc.measure_samples != 0 ? sc.measure_samples : 64 * sc.num_servers;
+
+  const auto outcomes = run_space(sc, engine, measure_samples);
+
+  RunReport report;
+  report.spec = sc;
+  report.spec.engine = engine;
+  report.spec.num_balls = sc.balls();
+  report.spec.threads = resolve_threads(sc.threads);
+  if (sc.space == SpaceKind::kTorusNd &&
+      core::needs_region_measure(sc.tie)) {
+    report.spec.measure_samples = measure_samples;
+  }
+
+  double min_s = 0.0, max_s = 0.0, sum_s = 0.0;
+  bool first = true;
+  for (const TrialOutcome& o : outcomes) {
+    report.max_load.add(o.max_load);
+    sum_s += o.seconds;
+    if (first || o.seconds < min_s) min_s = o.seconds;
+    if (first || o.seconds > max_s) max_s = o.seconds;
+    first = false;
+  }
+  // Exact percentiles: every per-trial max load is retained in the
+  // histogram, so there is nothing to stream-estimate (the P² machinery
+  // stays on the net/ per-message metrics, where traces are not kept).
+  report.quantile_values.reserve(sc.quantiles.size());
+  for (const double q : sc.quantiles) {
+    report.quantile_values.push_back(
+        static_cast<double>(report.max_load.quantile(q)));
+  }
+  report.total_seconds = sum_s;
+  report.trial_seconds_min = min_s;
+  report.trial_seconds_max = max_s;
+  report.trial_seconds_mean =
+      sum_s / static_cast<double>(outcomes.size());
+  if (sum_s > 0.0) {
+    report.balls_per_sec = static_cast<double>(sc.balls()) *
+                           static_cast<double>(sc.trials) / sum_s;
+  }
+  return report;
+}
+
+Scenario scenario_from_args(const ArgParser& args, Scenario defaults) {
+  Scenario sc = std::move(defaults);
+  sc.space = space_kind_from_string(
+      args.get_string("space", std::string(to_string(sc.space))));
+  sc.engine = engine_from_string(
+      args.get_string("engine", std::string(to_string(sc.engine))));
+  // --n accepts a comma list so sweep binaries can share the flag; the
+  // scenario itself is one cell, seeded from the first entry.
+  const auto sizes = args.get_u64_list("n", {sc.num_servers});
+  if (sizes.empty()) throw std::invalid_argument("flag n: empty list");
+  sc.num_servers = sizes.front();
+  sc.num_balls = args.get_u64("m", sc.num_balls);
+  sc.num_choices = static_cast<int>(
+      args.get_u64("d", static_cast<std::uint64_t>(sc.num_choices)));
+  sc.tie = core::tie_break_from_string(
+      args.get_string("tie", std::string(core::to_string(sc.tie))));
+  {
+    const std::string scheme = args.get_string(
+        "scheme", std::string(core::to_string(sc.scheme)));
+    if (scheme == "independent") {
+      sc.scheme = core::ChoiceScheme::kIndependent;
+    } else if (scheme == "partitioned") {
+      sc.scheme = core::ChoiceScheme::kPartitioned;
+    } else {
+      throw std::invalid_argument("flag scheme: expected independent or "
+                                  "partitioned, got " + scheme);
+    }
+  }
+  sc.trials = args.get_u64("trials", sc.trials);
+  sc.seed = args.get_u64("seed", sc.seed);
+  sc.threads = args.get_u64("threads", sc.threads);
+  sc.torus_dims = static_cast<int>(
+      args.get_u64("dims", static_cast<std::uint64_t>(sc.torus_dims)));
+  sc.zipf_alpha = args.get_double("alpha", sc.zipf_alpha);
+  sc.measure_samples = args.get_u64("measure-samples", sc.measure_samples);
+  return sc;
+}
+
+namespace {
+
+[[nodiscard]] std::string quantile_label(double q) {
+  char buf[32];
+  const double pct = q * 100.0;
+  if (pct == static_cast<double>(static_cast<int>(pct))) {
+    std::snprintf(buf, sizeof(buf), "p%d", static_cast<int>(pct));
+  } else {
+    std::snprintf(buf, sizeof(buf), "p%.3g", pct);
+  }
+  return buf;
+}
+
+[[nodiscard]] std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_run_summary(const RunReport& report) {
+  const Scenario& sc = report.spec;
+  std::string out;
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "scenario: space=%s engine=%s n=%llu m=%llu d=%d tie=%s scheme=%s\n",
+      std::string(to_string(sc.space)).c_str(),
+      std::string(to_string(sc.engine)).c_str(),
+      static_cast<unsigned long long>(sc.num_servers),
+      static_cast<unsigned long long>(sc.balls()), sc.num_choices,
+      std::string(core::to_string(sc.tie)).c_str(),
+      std::string(core::to_string(sc.scheme)).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "          trials=%llu seed=0x%llx threads=%zu\n",
+                static_cast<unsigned long long>(sc.trials),
+                static_cast<unsigned long long>(sc.seed), sc.threads);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "timing:   total %.3fs, per trial %.2g/%.2g/%.2g s "
+                "(min/mean/max), %.3g balls/sec\n",
+                report.total_seconds, report.trial_seconds_min,
+                report.trial_seconds_mean, report.trial_seconds_max,
+                report.balls_per_sec);
+  out += buf;
+  out += "max load: mean " + format_double(report.max_load.mean());
+  for (std::size_t i = 0; i < report.quantile_values.size(); ++i) {
+    out += ", " + quantile_label(sc.quantiles[i]) + " " +
+           format_double(report.quantile_values[i]);
+  }
+  out += "\n\ndistribution of max load over trials:\n";
+  for (const auto& line : distribution_lines(report.max_load)) {
+    out += "  " + line + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> scenario_csv_header(const Scenario& spec) {
+  std::vector<std::string> h = {
+      "space", "engine", "n",     "m",          "d",
+      "tie",   "scheme", "trials", "seed",      "threads",
+      "dims",  "alpha",  "measure_samples",     "mean_max_load",
+  };
+  for (const double q : spec.quantiles) h.push_back(quantile_label(q));
+  h.insert(h.end(), {"max_load_min", "max_load_max", "total_seconds",
+                     "balls_per_sec"});
+  return h;
+}
+
+std::vector<std::string> scenario_csv_row(const RunReport& report) {
+  const Scenario& sc = report.spec;
+  std::vector<std::string> row = {
+      std::string(to_string(sc.space)),
+      std::string(to_string(sc.engine)),
+      std::to_string(sc.num_servers),
+      std::to_string(sc.balls()),
+      std::to_string(sc.num_choices),
+      std::string(core::to_string(sc.tie)),
+      std::string(core::to_string(sc.scheme)),
+      std::to_string(sc.trials),
+      std::to_string(sc.seed),
+      std::to_string(sc.threads),
+      std::to_string(sc.torus_dims),
+      format_double(sc.zipf_alpha),
+      std::to_string(sc.measure_samples),
+      format_double(report.max_load.mean()),
+  };
+  for (const double v : report.quantile_values) row.push_back(format_double(v));
+  row.push_back(std::to_string(report.max_load.min_value()));
+  row.push_back(std::to_string(report.max_load.max_value()));
+  row.push_back(format_double(report.total_seconds));
+  row.push_back(format_double(report.balls_per_sec));
+  return row;
+}
+
+std::string scenario_json(const RunReport& report) {
+  const Scenario& sc = report.spec;
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"spec\": {\"space\": \"%s\", \"engine\": \"%s\", \"n\": %llu, "
+      "\"m\": %llu, \"d\": %d, \"tie\": \"%s\", \"scheme\": \"%s\", "
+      "\"trials\": %llu, \"seed\": %llu, \"threads\": %zu, \"dims\": %d, "
+      "\"alpha\": %s, \"measure_samples\": %llu},\n",
+      std::string(to_string(sc.space)).c_str(),
+      std::string(to_string(sc.engine)).c_str(),
+      static_cast<unsigned long long>(sc.num_servers),
+      static_cast<unsigned long long>(sc.balls()), sc.num_choices,
+      std::string(core::to_string(sc.tie)).c_str(),
+      std::string(core::to_string(sc.scheme)).c_str(),
+      static_cast<unsigned long long>(sc.trials),
+      static_cast<unsigned long long>(sc.seed), sc.threads, sc.torus_dims,
+      format_double(sc.zipf_alpha).c_str(),
+      static_cast<unsigned long long>(sc.measure_samples));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"mean_max_load\": %s,\n  \"max_load_min\": %llu,\n"
+                "  \"max_load_max\": %llu,\n",
+                format_double(report.max_load.mean()).c_str(),
+                static_cast<unsigned long long>(report.max_load.min_value()),
+                static_cast<unsigned long long>(report.max_load.max_value()));
+  json += buf;
+  json += "  \"quantiles\": {";
+  for (std::size_t i = 0; i < report.quantile_values.size(); ++i) {
+    if (i > 0) json += ", ";
+    json += "\"" + quantile_label(sc.quantiles[i]) +
+            "\": " + format_double(report.quantile_values[i]);
+  }
+  json += "},\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"total_seconds\": %s,\n  \"trial_seconds_mean\": %s,\n"
+                "  \"balls_per_sec\": %s\n}\n",
+                format_double(report.total_seconds).c_str(),
+                format_double(report.trial_seconds_mean).c_str(),
+                format_double(report.balls_per_sec).c_str());
+  json += buf;
+  return json;
+}
+
+}  // namespace geochoice::sim

@@ -1,0 +1,178 @@
+// scenario.hpp — the one front door of the simulation harness.
+//
+// A sim::Scenario declares a complete max-load experiment — which space,
+// which engine, n/m/d, tie-break, trials, seed, reporting knobs — and
+// sim::run(scenario) executes it and returns a RunReport. The same spec
+// reaches all three allocation engines (scalar / batched / sharded) and
+// all six spaces (ring, torus, n-d torus, uniform, weighted, Chord
+// successor ownership), so a new workload is a field value, not a new
+// binary with its own engine × space switch.
+//
+// Determinism contract (inherited from the engines):
+//   * Trial t builds its space from the (seed, t, kServerPlacement)
+//     substream and runs balls on (seed, t, kBallChoices) — identical to
+//     the historical run_max_load_experiment derivation, so the shim in
+//     experiment.hpp is bit-compatible with every pinned golden value.
+//   * For deterministic tie-breaks (kFirstChoice, kLowestIndex, the
+//     region strategies) all three engines consume the ball stream
+//     identically, so RunReport::max_load is bit-identical across
+//     engines (pinned by tests/test_scenario.cpp's equivalence matrix).
+//     TieBreak::kRandom is equal in distribution across engines.
+//   * Results are invariant to thread count for every engine.
+//
+// Engine::kAuto picks by space capability, ball count, and available
+// threads (see resolve_engine); the chosen engine is echoed in
+// RunReport::spec, so a report is always reproducible by rerunning its
+// own resolved spec with an explicit engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/process.hpp"
+#include "stats/histogram.hpp"
+
+namespace geochoice::sim {
+
+class ArgParser;
+
+enum class SpaceKind {
+  kRing,      // arcs on the circle (Table 1, Table 3)
+  kTorus,     // Voronoi cells on the unit torus (Table 2)
+  kUniform,   // classic equiprobable bins (Azar et al. baseline)
+  kTorusNd,   // nearest-neighbor cells on the unit D-torus (Section 3)
+  kWeighted,  // fixed bin probabilities (Zipf stress test)
+  kChordNet,  // Chord successor ownership (net::ChordSuccessorSpace)
+};
+
+enum class Engine {
+  kScalar,   // core::run_process — the reference oracle
+  kBatched,  // core::run_batch_process — sample/resolve/place blocks
+  kSharded,  // core::run_sharded_process — intra-trial parallelism
+  kAuto,     // pick by space capability + m + threads (resolve_engine)
+};
+
+[[nodiscard]] std::string_view to_string(SpaceKind k) noexcept;
+[[nodiscard]] SpaceKind space_kind_from_string(std::string_view name);
+[[nodiscard]] std::string_view to_string(Engine e) noexcept;
+[[nodiscard]] Engine engine_from_string(std::string_view name);
+
+/// Declarative experiment spec. The first block of fields matches
+/// ExperimentConfig member-for-member (see experiment.hpp for the
+/// migration map); the rest are the engine selector, per-space knobs,
+/// and reporting options.
+struct Scenario {
+  SpaceKind space = SpaceKind::kRing;
+  std::uint64_t num_servers = 1 << 8;  // n
+  std::uint64_t num_balls = 0;         // m; 0 means m = n
+  int num_choices = 2;                 // d
+  core::TieBreak tie = core::TieBreak::kRandom;
+  core::ChoiceScheme scheme = core::ChoiceScheme::kIndependent;
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 0x67656f63686f6963ULL;  // "geochoic"
+  std::size_t threads = 0;                     // 0 = hardware concurrency
+
+  Engine engine = Engine::kAuto;
+
+  /// kTorusNd: dimension D in [1, 4] (kTorus is the dedicated D = 2
+  /// space with exact Voronoi areas; TorusNd estimates measures).
+  int torus_dims = 3;
+  /// kWeighted: Zipf exponent, bin i selected with probability
+  /// proportional to 1/(i+1)^alpha.
+  double zipf_alpha = 1.0;
+  /// kTorusNd with a region tie-break: Monte-Carlo samples for the
+  /// measure estimate; 0 means 64 * n. Drawn from the trial's server
+  /// substream, so estimates are engine-independent.
+  std::uint64_t measure_samples = 0;
+
+  /// Streaming max-load percentiles reported next to the histogram
+  /// (each must lie in (0, 1)).
+  std::vector<double> quantiles = {0.5, 0.9, 0.99};
+
+  [[nodiscard]] std::uint64_t balls() const noexcept {
+    return num_balls == 0 ? num_servers : num_balls;
+  }
+};
+
+/// Everything one run produced, plus the spec that produced it.
+struct RunReport {
+  /// The input spec with every deferred choice resolved: engine is
+  /// concrete (never kAuto), num_balls/threads/measure_samples are
+  /// explicit. Rerunning this spec reproduces max_load bit-for-bit.
+  Scenario spec;
+
+  /// Distribution of the maximum load over trials (the paper's tables).
+  stats::IntHistogram max_load;
+
+  /// Exact spec.quantiles of the per-trial max loads (read from the
+  /// histogram — every trial outcome is retained, so no estimator is
+  /// needed; the P² streaming machinery serves the net/ per-message
+  /// metrics, where traces are not kept).
+  std::vector<double> quantile_values;
+
+  /// Per-trial wall timing (seconds), aggregated over trials.
+  double total_seconds = 0.0;
+  double trial_seconds_min = 0.0;
+  double trial_seconds_mean = 0.0;
+  double trial_seconds_max = 0.0;
+  /// Aggregate throughput: trials * balls / total_seconds. For parallel
+  /// trial execution total_seconds is the sum of per-trial times (CPU
+  /// seconds of useful work), so this is per-core throughput.
+  double balls_per_sec = 0.0;
+
+  [[nodiscard]] double mean_max_load() const noexcept {
+    return max_load.mean();
+  }
+};
+
+/// True when `engine` can drive `space`. kSharded needs a shard_of()
+/// partition hook (ring, torus, uniform); kScalar/kBatched run
+/// everything; kAuto is always valid (it only picks supported engines).
+[[nodiscard]] bool engine_supports(Engine engine, SpaceKind space) noexcept;
+
+/// The engine kAuto resolves to: kSharded for ring/torus when a single
+/// trial is huge (m >= 2^22) and >= 4 threads are available, kBatched
+/// for ring/torus at m >= 4096 (measured 6x / 1.7x scalar), kScalar
+/// otherwise (uniform has no owner lookup to batch; the remaining
+/// spaces have no bulk kernels). Depends on hardware_concurrency only
+/// through the kSharded rule when spec.threads == 0.
+[[nodiscard]] Engine resolve_engine(const Scenario& sc) noexcept;
+
+/// Execute the scenario: trials in parallel for scalar/batched (thread-
+/// count invariant), sequential trials with an intra-trial worker pool
+/// for sharded. Throws std::invalid_argument on unrunnable specs
+/// (zero trials/servers, d < 1, unsupported engine × space, partitioned
+/// sampling off the ring, bad dims/quantiles).
+[[nodiscard]] RunReport run(const Scenario& sc);
+
+/// Parse the shared scenario flags over `defaults`, so every binary
+/// exposes identical names and semantics:
+///   --space=ring|torus|torus-nd|uniform|weighted|chord
+///   --engine=scalar|batched|sharded|auto
+///   --n=N (a comma list is accepted; the first entry seeds num_servers
+///          and sweep binaries read the full list themselves)
+///   --m=M  --d=D  --tie=random|first|smaller|larger|lowest-index
+///   --scheme=independent|partitioned  --trials=T  --seed=S
+///   --threads=K  --dims=D  --alpha=A  --measure-samples=S
+[[nodiscard]] Scenario scenario_from_args(const ArgParser& args,
+                                          Scenario defaults = {});
+
+/// Human-readable report: resolved spec echo, timing, percentiles, and
+/// the paper-style max-load distribution block.
+[[nodiscard]] std::string render_run_summary(const RunReport& report);
+
+/// CSV schema: full resolved-spec echo plus the max-load metrics. The
+/// quantile columns mirror spec.quantiles ("p50", "p90", ...), so pass
+/// the same spec whose reports you will write.
+[[nodiscard]] std::vector<std::string> scenario_csv_header(
+    const Scenario& spec);
+[[nodiscard]] std::vector<std::string> scenario_csv_row(
+    const RunReport& report);
+
+/// One JSON object: resolved spec echo + metrics (same shape family as
+/// the BENCH_*.json files the perf gate reads).
+[[nodiscard]] std::string scenario_json(const RunReport& report);
+
+}  // namespace geochoice::sim

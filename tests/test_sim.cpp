@@ -1,5 +1,7 @@
-// Tests for the simulation harness: CLI parsing, table rendering, CSV
-// output, and the experiment runner's determinism.
+// Tests for the simulation harness: table rendering, CSV output, and the
+// experiment runner's determinism. (ArgParser tests live in
+// tests/test_cli.cpp; the Scenario façade is covered by
+// tests/test_scenario.cpp.)
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -10,78 +12,6 @@
 
 namespace gm = geochoice::sim;
 namespace gc = geochoice::core;
-
-namespace {
-
-gm::ArgParser parse(std::initializer_list<const char*> args) {
-  std::vector<const char*> argv = {"prog"};
-  argv.insert(argv.end(), args.begin(), args.end());
-  return gm::ArgParser(static_cast<int>(argv.size()), argv.data());
-}
-
-}  // namespace
-
-// ------------------------------------------------------------------ ArgParser
-
-TEST(ArgParser, EqualsForm) {
-  const auto p = parse({"--trials=500", "--alpha=1.5", "--name=ring"});
-  EXPECT_EQ(p.get_u64("trials", 0), 500u);
-  EXPECT_DOUBLE_EQ(p.get_double("alpha", 0.0), 1.5);
-  EXPECT_EQ(p.get_string("name", ""), "ring");
-}
-
-TEST(ArgParser, SpaceForm) {
-  const auto p = parse({"--trials", "42"});
-  EXPECT_EQ(p.get_u64("trials", 0), 42u);
-}
-
-TEST(ArgParser, BooleanFlag) {
-  const auto p = parse({"--full"});
-  EXPECT_TRUE(p.has("full"));
-  EXPECT_FALSE(p.has("other"));
-}
-
-TEST(ArgParser, DefaultsWhenAbsent) {
-  const auto p = parse({});
-  EXPECT_EQ(p.get_u64("trials", 7), 7u);
-  EXPECT_DOUBLE_EQ(p.get_double("x", 2.5), 2.5);
-  EXPECT_EQ(p.get_string("s", "dflt"), "dflt");
-}
-
-TEST(ArgParser, AcceptsDoubleDashPrefixInQueries) {
-  const auto p = parse({"--n=9"});
-  EXPECT_EQ(p.get_u64("--n", 0), 9u);
-}
-
-TEST(ArgParser, U64List) {
-  const auto p = parse({"--n=256,4096,65536"});
-  const auto v = p.get_u64_list("n", {});
-  ASSERT_EQ(v.size(), 3u);
-  EXPECT_EQ(v[0], 256u);
-  EXPECT_EQ(v[2], 65536u);
-}
-
-TEST(ArgParser, BadValuesThrow) {
-  const auto p = parse({"--trials=abc", "--x=1.2.3", "--list=1,junk"});
-  EXPECT_THROW((void)p.get_u64("trials", 0), std::invalid_argument);
-  EXPECT_THROW((void)p.get_double("x", 0.0), std::invalid_argument);
-  EXPECT_THROW((void)p.get_u64_list("list", {}), std::invalid_argument);
-}
-
-TEST(ArgParser, PositionalArgumentsRejected) {
-  const std::vector<const char*> argv = {"prog", "oops"};
-  EXPECT_THROW(
-      gm::ArgParser(static_cast<int>(argv.size()), argv.data()),
-      std::invalid_argument);
-}
-
-TEST(ArgParser, UnusedFlagsReported) {
-  const auto p = parse({"--used=1", "--typo=2"});
-  (void)p.get_u64("used", 0);
-  const auto unused = p.unused();
-  ASSERT_EQ(unused.size(), 1u);
-  EXPECT_EQ(unused[0], "typo");
-}
 
 // --------------------------------------------------------------- table format
 
