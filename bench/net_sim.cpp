@@ -17,6 +17,11 @@
 //   --trials=20       independent rings
 //   --seed=...        master seed
 //   --threads=0       trial parallelism (0 = hardware)
+//   --workers=0       in-trial engine parallelism: 0 = sequential
+//                     NetSimulator; K >= 1 = ParallelNetSimulator with K
+//                     barrier workers per trial (bit-identical results;
+//                     needs a latency model with a positive minimum)
+//   --shards=0        ring shards for the parallel engine (0 = 4/worker)
 //   --csv=PATH        also append one metrics row per run to PATH
 //
 // Sweep mode (the ROADMAP stale-information study, self-contained):
@@ -85,6 +90,8 @@ int main(int argc, char** argv) {
   cfg.net.seed = args.get_u64("seed", cfg.net.seed);
   cfg.trials = args.get_u64("trials", 20);
   cfg.threads = args.get_u64("threads", 0);
+  cfg.workers = args.get_u64("workers", 0);
+  cfg.shards = static_cast<std::uint32_t>(args.get_u64("shards", 0));
   std::uint64_t max_window = 256;
   std::string csv_path;
   if (sweep) {

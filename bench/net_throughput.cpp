@@ -85,6 +85,48 @@ int main(int argc, char** argv) {
   ev_row.ns_per_item = 1e9 / events_per_sec;
   ms.push_back(ev_row);
 
+  // --- conservative parallel engine: events/sec per worker count.
+  // Worker count 1 runs the full windowing machinery (min_time bounds,
+  // mailboxes, inline fills) with zero threads — the pure-overhead row the
+  // perf gate holds to <= 15% vs the sequential engine. Higher counts are
+  // the scaling rows; their floors are hw-gated (min_hw_threads) so a
+  // starved runner skips instead of flaking.
+  std::vector<std::size_t> worker_counts{1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency() == 0
+                             ? 1
+                             : std::thread::hardware_concurrency();
+  for (std::size_t w = 4; w <= hw; w *= 2) worker_counts.push_back(w);
+
+  double par_t1_events_per_sec = 0.0;
+  double par_best_events_per_sec = 0.0;
+  for (const std::size_t w : worker_counts) {
+    std::uint64_t par_events = 0;
+    const auto row =
+        gb::measure("ParallelNet/wire", w, m, warmup, reps, [&] {
+          gn::ParallelNetSimulator sim(ring, cfg, {w, 0});
+          const auto r = sim.run();
+          par_events = r.events;
+          if (r.max_load == 0) std::abort();
+        });
+    if (par_events != events) std::abort();  // engines must agree exactly
+    gb::Measurement par_row;
+    par_row.name = "ParallelNet/events";
+    par_row.threads = w;
+    par_row.items_per_sec = row.items_per_sec *
+                            static_cast<double>(events) /
+                            static_cast<double>(m);
+    par_row.ns_per_item = 1e9 / par_row.items_per_sec;
+    ms.push_back(par_row);
+    if (w == 1) par_t1_events_per_sec = par_row.items_per_sec;
+    if (par_row.items_per_sec > par_best_events_per_sec) {
+      par_best_events_per_sec = par_row.items_per_sec;
+    }
+  }
+  const double parallel_t1_vs_sequential =
+      par_t1_events_per_sec / events_per_sec;
+  const double parallel_scaling_best =
+      par_best_events_per_sec / par_t1_events_per_sec;
+
   // --- structural baseline: same probes, no messages.
   ms.push_back(gb::measure("TwoChoiceDht/structural", 0, m, warmup, reps, [&] {
     gr::DefaultEngine gen(42);
@@ -103,6 +145,9 @@ int main(int argc, char** argv) {
   std::printf("\nhw threads: %u\n", std::thread::hardware_concurrency());
   std::printf("events/sec (DES loop)      : %.0f\n", events_per_sec);
   std::printf("net / structural inserts   : %.3fx\n", net_vs_structural);
+  std::printf("parallel t1 / sequential   : %.3fx\n",
+              parallel_t1_vs_sequential);
+  std::printf("parallel best / t1 scaling : %.3fx\n", parallel_scaling_best);
 
   std::string json;
   json += "{\n";
@@ -122,16 +167,20 @@ int main(int argc, char** argv) {
   json += hwbuf;
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
-    gb::append_json(json, ms[i], "insert", /*with_threads=*/false,
-                    i + 1 == ms.size());
+    // Parallel rows carry their worker count; engine rows have none.
+    gb::append_json(json, ms[i], "insert",
+                    /*with_threads=*/ms[i].threads != 0, i + 1 == ms.size());
   }
   json += "  ],\n";
-  char tail[192];
+  char tail[320];
   std::snprintf(tail, sizeof(tail),
                 "  \"events_per_sec\": %.1f,\n"
                 "  \"inserts_per_sec\": %.1f,\n"
-                "  \"net_vs_structural\": %.4f\n}\n",
-                events_per_sec, inserts_per_sec, net_vs_structural);
+                "  \"net_vs_structural\": %.4f,\n"
+                "  \"parallel_t1_vs_sequential\": %.4f,\n"
+                "  \"parallel_scaling_best\": %.4f\n}\n",
+                events_per_sec, inserts_per_sec, net_vs_structural,
+                parallel_t1_vs_sequential, parallel_scaling_best);
   json += tail;
 
   return gb::write_json_or_fail(out_path, json);

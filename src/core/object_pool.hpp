@@ -121,6 +121,26 @@ class ObjectPool {
     --live_;
   }
 
+  /// Visit every live object in ascending slot-index order — a
+  /// deterministic order (pure function of the emplace/release history),
+  /// so pool-backed containers can expose iteration without perturbing
+  /// trace-pinned simulations. `f` is called as f(Handle, T&) and must not
+  /// emplace into or release from this pool.
+  template <typename F>
+  void for_each(F&& f) {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (s.value.has_value()) f(Handle{i, s.generation}, *s.value);
+    }
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (s.value.has_value()) f(Handle{i, s.generation}, *s.value);
+    }
+  }
+
   /// Objects currently alive.
   [[nodiscard]] std::size_t live() const noexcept { return live_; }
   /// Slots ever created (high-water mark of concurrent live objects).

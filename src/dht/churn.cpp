@@ -17,13 +17,11 @@ ChurnSimulator::ChurnSimulator(std::size_t initial_servers, int d,
   for (std::size_t i = 0; i < initial_servers; ++i) {
     double pos = rng::uniform01(gen);
     while (ring_.contains(pos)) pos = rng::uniform01(gen);
-    const auto slot = static_cast<std::uint32_t>(servers_.size());
-    servers_.push_back({{}, true});
-    ring_.emplace(pos, slot);
+    ring_.emplace(pos, servers_.emplace());
   }
 }
 
-std::uint32_t ChurnSimulator::owner_of(double x) const {
+ChurnSimulator::ServerHandle ChurnSimulator::owner_of(double x) const {
   assert(!ring_.empty());
   auto it = ring_.lower_bound(x);
   if (it == ring_.end()) it = ring_.begin();  // wrap to the first server
@@ -32,12 +30,12 @@ std::uint32_t ChurnSimulator::owner_of(double x) const {
 
 void ChurnSimulator::place_key(std::uint32_t key_id) {
   Key& key = keys_[key_id];
-  std::uint32_t best_server = owner_of(key.candidates[0]);
+  ServerHandle best_server = owner_of(key.candidates[0]);
   double best_pos = key.candidates[0];
-  std::size_t best_load = servers_[best_server].keys.size();
+  std::size_t best_load = servers_.get(best_server).keys.size();
   for (int j = 1; j < d_; ++j) {
-    const std::uint32_t server = owner_of(key.candidates[j]);
-    const std::size_t load = servers_[server].keys.size();
+    const ServerHandle server = owner_of(key.candidates[j]);
+    const std::size_t load = servers_.get(server).keys.size();
     if (load < best_load) {
       best_server = server;
       best_pos = key.candidates[j];
@@ -47,7 +45,7 @@ void ChurnSimulator::place_key(std::uint32_t key_id) {
   key.chosen = best_pos;
   key.server = best_server;
   key.live = true;
-  servers_[best_server].keys.push_back(key_id);
+  servers_.get(best_server).keys.push_back(key_id);
 }
 
 void ChurnSimulator::insert_key(rng::DefaultEngine& gen) {
@@ -64,31 +62,23 @@ std::size_t ChurnSimulator::join(rng::DefaultEngine& gen) {
   double pos = rng::uniform01(gen);
   while (ring_.contains(pos)) pos = rng::uniform01(gen);
   // The successor currently owns the arc the joiner will split.
-  const std::uint32_t succ = owner_of(pos);
+  const ServerHandle succ = owner_of(pos);
 
-  std::uint32_t slot;
-  if (!free_server_slots_.empty()) {
-    slot = free_server_slots_.back();
-    free_server_slots_.pop_back();
-    servers_[slot] = {{}, true};
-  } else {
-    slot = static_cast<std::uint32_t>(servers_.size());
-    servers_.push_back({{}, true});
-  }
-  ring_.emplace(pos, slot);
+  const ServerHandle joiner = servers_.emplace();
+  ring_.emplace(pos, joiner);
 
   // Keys of the successor whose chosen position now falls on the joiner's
   // side of the split migrate.
   std::size_t moved = 0;
-  auto& succ_keys = servers_[succ].keys;
+  auto& succ_keys = servers_.get(succ).keys;
   auto keep_end = std::partition(
       succ_keys.begin(), succ_keys.end(), [&](std::uint32_t key_id) {
         return owner_of(keys_[key_id].chosen) == succ;
       });
   for (auto it = keep_end; it != succ_keys.end(); ++it) {
     Key& key = keys_[*it];
-    key.server = slot;
-    servers_[slot].keys.push_back(*it);
+    key.server = joiner;
+    servers_.get(joiner).keys.push_back(*it);
     ++moved;
   }
   succ_keys.erase(keep_end, succ_keys.end());
@@ -102,54 +92,53 @@ std::size_t ChurnSimulator::leave(rng::DefaultEngine& gen) {
   auto it = ring_.begin();
   std::advance(it, static_cast<std::ptrdiff_t>(
                        rng::uniform_below(gen, ring_.size())));
-  const std::uint32_t slot = it->second;
+  const ServerHandle slot = it->second;
   ring_.erase(it);
 
   // Re-place every key the leaver held, using each key's candidates
   // against the *current* loads (for d = 1 this is "hand to successor").
-  std::vector<std::uint32_t> orphans = std::move(servers_[slot].keys);
-  servers_[slot] = {{}, false};
-  free_server_slots_.push_back(slot);
-  for (std::uint32_t key_id : orphans) {
+  // The ids are copied into the reusable scratch so the slot can be
+  // released (recycled) before the re-placements run.
+  const auto& leaver_keys = servers_.get(slot).keys;
+  orphans_.assign(leaver_keys.begin(), leaver_keys.end());
+  servers_.release(slot);
+  for (std::uint32_t key_id : orphans_) {
     place_key(key_id);
   }
-  total_moved_ += orphans.size();
-  return orphans.size();
+  total_moved_ += orphans_.size();
+  return orphans_.size();
 }
 
 std::uint32_t ChurnSimulator::max_load() const noexcept {
   std::size_t best = 0;
-  for (const Server& s : servers_) {
-    if (s.live) best = std::max(best, s.keys.size());
-  }
+  servers_.for_each([&](ServerHandle, const Server& s) {
+    best = std::max(best, s.keys.size());
+  });
   return static_cast<std::uint32_t>(best);
 }
 
 std::vector<std::uint32_t> ChurnSimulator::loads() const {
   std::vector<std::uint32_t> out;
   out.reserve(ring_.size());
-  for (const Server& s : servers_) {
-    if (s.live) out.push_back(static_cast<std::uint32_t>(s.keys.size()));
-  }
+  servers_.for_each([&](ServerHandle, const Server& s) {
+    out.push_back(static_cast<std::uint32_t>(s.keys.size()));
+  });
   return out;
 }
 
 bool ChurnSimulator::check_consistency() const {
   std::size_t counted = 0;
-  for (std::uint32_t slot = 0; slot < servers_.size(); ++slot) {
-    const Server& s = servers_[slot];
-    if (!s.live) {
-      if (!s.keys.empty()) return false;
-      continue;
-    }
+  bool ok = true;
+  servers_.for_each([&](ServerHandle h, const Server& s) {
     for (std::uint32_t key_id : s.keys) {
       const Key& key = keys_[key_id];
-      if (!key.live || key.server != slot) return false;
-      if (owner_of(key.chosen) != slot) return false;
+      if (!key.live || key.server != h || owner_of(key.chosen) != h) {
+        ok = false;
+      }
       ++counted;
     }
-  }
-  return counted == live_keys_;
+  });
+  return ok && counted == live_keys_;
 }
 
 }  // namespace geochoice::dht

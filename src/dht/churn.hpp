@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "core/object_pool.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256.hpp"
 
@@ -68,20 +69,27 @@ class ChurnSimulator {
   [[nodiscard]] bool check_consistency() const;
 
  private:
+  /// Per-server bookkeeping lives in a core::ObjectPool slab: departed
+  /// servers release their slot and joins recycle it (LIFO, like the
+  /// hand-rolled free list this replaces — same slot-reuse order, so
+  /// traces pinned before the change still hold), and generation-checked
+  /// handles turn any stale-server bug into a loud throw instead of a
+  /// silent aliasing of the slot's next tenant.
+  struct Server {
+    std::vector<std::uint32_t> keys;  // key ids stored here
+  };
+  using ServerPool = core::ObjectPool<Server>;
+  using ServerHandle = ServerPool::Handle;
+
   struct Key {
     std::vector<double> candidates;  // d hash positions
     double chosen = 0.0;             // the candidate it currently lives at
-    std::uint32_t server = 0;        // internal server slot
+    ServerHandle server;             // pool handle of the hosting server
     bool live = false;
   };
 
-  struct Server {
-    std::vector<std::uint32_t> keys;  // key ids stored here
-    bool live = false;
-  };
-
-  /// Server slot owning ring position x (successor convention).
-  [[nodiscard]] std::uint32_t owner_of(double x) const;
+  /// Server owning ring position x (successor convention).
+  [[nodiscard]] ServerHandle owner_of(double x) const;
 
   /// Place key `key_id` on the least-loaded of its candidates' current
   /// owners (ties to the first candidate). Appends to that server's key
@@ -90,10 +98,12 @@ class ChurnSimulator {
   void place_key(std::uint32_t key_id);
 
   int d_;
-  std::map<double, std::uint32_t> ring_;  // position -> server slot
-  std::vector<Server> servers_;
-  std::vector<std::uint32_t> free_server_slots_;
+  std::map<double, ServerHandle> ring_;  // position -> server pool handle
+  ServerPool servers_;
   std::vector<Key> keys_;
+  /// leave() scratch: the departing server's key ids, reused across events
+  /// so a churn step allocates nothing once capacities have warmed up.
+  std::vector<std::uint32_t> orphans_;
   std::size_t live_keys_ = 0;
   std::uint64_t total_moved_ = 0;
 };

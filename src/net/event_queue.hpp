@@ -25,7 +25,14 @@
 //     queue adapts to whatever spacing the latency model produces;
 //   * a direct-search fallback: when one full year of days holds nothing
 //     (far-future gaps, clamped days), pop scans bucket heads for the
-//     global minimum instead of spinning through empty years.
+//     global minimum instead of spinning through empty years;
+//   * grow damping: when a resize scan finds every live event at one
+//     timestamp (a flood), growing the calendar cannot spread them — no
+//     width separates equal times — so the grow is refused and the next
+//     attempt deferred until the queue doubles again. Without the guard a
+//     flood pays a full collect-and-redistribute at every power of two,
+//     which is where the calendar used to trail the heap on the flood
+//     bench (BENCH_event_queue.json's calendar_vs_heap_flood).
 //
 // Payloads live in a core::ObjectPool slab, so bucket entries are 24-byte
 // (time, seq, handle) records — cheap to shift during sorted insert — and
@@ -41,6 +48,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -51,6 +59,9 @@ namespace geochoice::net {
 
 /// Simulated clock. Unitless; latency models define the scale.
 using SimTime = double;
+
+/// `min_time()` on an empty queue: no event is due before anything.
+inline constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::infinity();
 
 /// The original (time, seq) min-heap scheduler. Same contract as
 /// EventQueue; kept as the reference implementation the calendar queue is
@@ -75,10 +86,42 @@ class HeapEventQueue {
   /// Earliest event; among equal times, the one scheduled first.
   [[nodiscard]] const Event& top() const { return heap_.top(); }
 
+  /// Time of the earliest scheduled event, kNoEvent when empty. The
+  /// peek-bound half of the conservative-window API: a windowed driver
+  /// compares this against its window end without committing to a pop.
+  [[nodiscard]] SimTime min_time() const noexcept {
+    return heap_.empty() ? kNoEvent : heap_.top().time;
+  }
+
   Event pop() {
     Event e = heap_.top();
     heap_.pop();
     return e;
+  }
+
+  /// If the earliest event is strictly before `bound`, pop it into `out`
+  /// and return true; otherwise leave the queue unchanged. The windowed
+  /// engines' hot path: one peek-and-pop, no separate min_time() walk.
+  [[nodiscard]] bool pop_before(SimTime bound, Event& out) {
+    if (heap_.empty() || !(heap_.top().time < bound)) return false;
+    out = heap_.top();
+    heap_.pop();
+    return true;
+  }
+
+  /// Pop-and-call `fn(Event)` for every event strictly before `bound`,
+  /// re-checking the minimum after each call so events `fn` schedules
+  /// inside the window (zero-delay cascades) are drained in order too.
+  /// Returns the number of events delivered.
+  template <typename Fn>
+  std::size_t drain_until(SimTime bound, Fn&& fn) {
+    std::size_t n = 0;
+    Event e;
+    while (pop_before(bound, e)) {
+      fn(std::move(e));
+      ++n;
+    }
+    return n;
   }
 
   /// Total events ever scheduled (the sequence counter).
@@ -107,6 +150,15 @@ class EventQueue {
     Payload payload;
   };
 
+  /// A claim on a scheduled-but-not-yet-popped event's payload slot,
+  /// returned by push(). Stable across rebuckets (entries move, pool slots
+  /// don't) and invalidated by the pop that delivers the event. This is
+  /// the parallel engine's fill mechanism: the sequencer schedules a
+  /// partially-built event, hands the ticket to a worker, and the worker
+  /// completes the payload in place via payload() before the event's due
+  /// time.
+  using Ticket = typename core::ObjectPool<Payload>::Handle;
+
   /// `width_hint` seeds the day width (rounded to a power of two): pass
   /// the expected spacing between consecutive events — e.g. the latency
   /// model's mean delay over the number of operations in flight. Any
@@ -117,16 +169,68 @@ class EventQueue {
     buckets_.resize(kMinBuckets);
   }
 
-  /// Schedule `payload` at absolute time `t`.
-  void push(SimTime t, Payload payload) {
-    const Entry e{t, next_seq_++, pool_.emplace(std::move(payload))};
-    insert_entry(e);
+  /// Schedule `payload` at absolute time `t`. The returned ticket stays
+  /// valid until the event pops.
+  Ticket push(SimTime t, Payload payload) {
+    const Ticket ticket = pool_.emplace(std::move(payload));
+    insert_entry(Entry{t, next_seq_++, ticket});
     ++size_;
-    if (size_ > buckets_.size() * 2) rebucket(buckets_.size() * 2);
+    if (size_ > buckets_.size() * 2 && size_ > grow_guard_) {
+      rebucket(buckets_.size() * 2);
+    }
+    return ticket;
   }
+
+  /// In-place access to a scheduled event's payload. Single-writer: the
+  /// caller must guarantee no concurrent push/pop while a reference is
+  /// live (the parallel engine does — workers fill between pops, and the
+  /// window barrier orders fills before the next drain).
+  [[nodiscard]] Payload& payload(Ticket ticket) { return pool_.get(ticket); }
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Time of the earliest scheduled event, kNoEvent when empty. Advances
+  /// the day cursor to the minimum's day, which pop() then re-finds in
+  /// O(1).
+  [[nodiscard]] SimTime min_time() {
+    if (size_ == 0) return kNoEvent;
+    return find_min_bucket().front().time;
+  }
+
+  /// If the earliest event is strictly before `bound`, pop it into `out`
+  /// and return true; otherwise leave the queue unchanged. One bucket
+  /// walk for peek and pop together — the windowed engines' hot path.
+  [[nodiscard]] bool pop_before(SimTime bound, Event& out) {
+    if (size_ == 0) return false;
+    Bucket& b = find_min_bucket();
+    if (!(b.front().time < bound)) return false;
+    const Entry e = b.take_front();
+    --size_;
+    out.time = e.time;
+    out.seq = e.seq;
+    out.payload = std::move(pool_.get(e.handle));
+    pool_.release(e.handle);
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+      rebucket(buckets_.size() / 2);
+    }
+    return true;
+  }
+
+  /// Pop-and-call `fn(Event)` for every event strictly before `bound`,
+  /// re-checking the minimum after each call so events `fn` schedules
+  /// inside the window (zero-delay cascades) are drained in order too.
+  /// Returns the number of events delivered.
+  template <typename Fn>
+  std::size_t drain_until(SimTime bound, Fn&& fn) {
+    std::size_t n = 0;
+    Event e;
+    while (pop_before(bound, e)) {
+      fn(std::move(e));
+      ++n;
+    }
+    return n;
+  }
 
   /// Earliest event; among equal times, the one scheduled first.
   /// Precondition: !empty().
@@ -283,9 +387,18 @@ class EventQueue {
     }
     // Re-derive the day width so the live span fits inside one year with
     // about one event per bucket. A degenerate span (all events
-    // simultaneous) keeps the current width: no width can separate them.
+    // simultaneous) keeps the current width: no width can separate them —
+    // and if this was a grow, a bigger calendar would only spread the
+    // flood across more empty buckets and re-trigger on the very next
+    // push. Refuse the grow and defer the next attempt until the queue
+    // doubles again (geometric backoff: O(log n) redistributes total
+    // instead of one per power of two).
     if (all.size() >= 2 && hi > lo) {
       set_width(pow2_at_least((hi - lo) / static_cast<double>(new_count)));
+      grow_guard_ = 0;
+    } else if (new_count > buckets_.size() && all.size() >= 2) {
+      new_count = buckets_.size();
+      grow_guard_ = size_ * 2;
     }
     buckets_.resize(new_count);
     std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
@@ -307,6 +420,9 @@ class EventQueue {
   SimTime inv_width_ = 1.0;
   std::uint64_t cur_day_ = 0;  // day of the last pop (or earlier)
   std::size_t size_ = 0;
+  /// Flood damping: after a refused degenerate grow, no further grow is
+  /// attempted until size_ exceeds this. 0 = no grow pending deferral.
+  std::size_t grow_guard_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t resizes_ = 0;
 };

@@ -9,6 +9,7 @@
 // tail that makes p99 interesting).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -51,6 +52,16 @@ struct LatencyModel {
   double a = 1.0;
   /// uniform: upper bound; lognormal: sigma (log scale); unused otherwise.
   double b = 0.0;
+  /// Lognormal only: hard lower clamp on every sampled delay (a power of
+  /// two by default, so the clamp arithmetic is exact). The lognormal's
+  /// support would otherwise reach arbitrarily close to zero, which is
+  /// both unphysical for a network link and fatal for conservative
+  /// parallel simulation — the lookahead window is min(), and a zero
+  /// min() collapses the window to nothing. Constant/uniform models have
+  /// an intrinsic minimum (a) and ignore this field.
+  double floor = kDefaultLognormalFloor;
+
+  static constexpr double kDefaultLognormalFloor = 0.015625;  // 2^-6
 
   /// Zero-delay model: the limit in which the message-level two-choice
   /// process collapses to the sequential run_process allocation.
@@ -63,9 +74,10 @@ struct LatencyModel {
   [[nodiscard]] static LatencyModel uniform(double lo, double hi) noexcept {
     return {LatencyKind::kUniform, lo, hi};
   }
-  [[nodiscard]] static LatencyModel lognormal(double mu,
-                                              double sigma) noexcept {
-    return {LatencyKind::kLognormal, mu, sigma};
+  [[nodiscard]] static LatencyModel lognormal(
+      double mu, double sigma,
+      double floor = kDefaultLognormalFloor) noexcept {
+    return {LatencyKind::kLognormal, mu, sigma, floor};
   }
 
   /// One link delay. Consumes engine draws even for the constant model only
@@ -79,7 +91,24 @@ struct LatencyModel {
       case LatencyKind::kUniform:
         return rng::uniform_real(gen, a, b);
       case LatencyKind::kLognormal:
-        return std::exp(a + b * rng::normal(gen));
+        return std::max(floor, std::exp(a + b * rng::normal(gen)));
+    }
+    return a;
+  }
+
+  /// Smallest delay the model can produce — the lookahead of the
+  /// conservative parallel engine (parallel_simulator.hpp): a message sent
+  /// at time t is never due before t + min(), so windows of that length
+  /// can execute without cross-window hazards. Like mean(), never drawn
+  /// from in the simulation itself.
+  [[nodiscard]] double min() const noexcept {
+    switch (kind) {
+      case LatencyKind::kConstant:
+        return a;
+      case LatencyKind::kUniform:
+        return a;
+      case LatencyKind::kLognormal:
+        return floor;
     }
     return a;
   }
@@ -111,6 +140,11 @@ struct LatencyModel {
         return;
       case LatencyKind::kLognormal:
         if (b < 0.0) throw std::invalid_argument("latency: negative sigma");
+        if (!(floor > 0.0)) {
+          throw std::invalid_argument(
+              "latency: lognormal needs a positive floor (the conservative "
+              "lookahead would otherwise be zero)");
+        }
         return;
     }
   }

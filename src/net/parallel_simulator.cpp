@@ -1,0 +1,75 @@
+#include "net/parallel_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/simulator.hpp"
+#include "parallel/shard_queues.hpp"
+
+namespace geochoice::net {
+
+ParallelNetSimulator::ParallelNetSimulator(const dht::ChordRing& ring,
+                                           const NetConfig& cfg,
+                                           const ParallelConfig& par)
+    : SimCore<ParallelNetSimulator>(ring, cfg),
+      crew_(par.workers),
+      lookahead_(cfg.latency.min()) {
+  if (!(lookahead_ > 0.0)) {
+    throw std::invalid_argument(
+        "ParallelNetSimulator: latency model minimum is zero — no "
+        "conservative lookahead exists; use NetSimulator for zero-delay "
+        "runs");
+  }
+  const auto workers = static_cast<std::uint32_t>(crew_.worker_count());
+  shards_ = par.shards != 0 ? par.shards : workers * 4;
+  // More shards than nodes buys nothing: some would own no node at all.
+  shards_ = std::min<std::uint32_t>(
+      shards_, static_cast<std::uint32_t>(ring.node_count()));
+  if (shards_ == 0) shards_ = 1;
+  mailboxes_.resize(shards_);
+}
+
+NetMetrics ParallelNetSimulator::simulate(const NetConfig& cfg,
+                                          const ParallelConfig& par) {
+  const auto ring = NetSimulator::make_ring(cfg);
+  ParallelNetSimulator sim(ring, cfg, par);
+  return sim.run();
+}
+
+void ParallelNetSimulator::finish_window() {
+  if (fills_pending_ == 0) return;
+  const std::size_t workers = crew_.worker_count();
+  crew_.run([this, workers](std::size_t w) {
+    const std::uint32_t lo = parallel::shard_begin(w, shards_, workers);
+    const std::uint32_t hi = parallel::shard_begin(w + 1, shards_, workers);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      for (const FillTask& task : mailboxes_[s]) {
+        Message& m = queue_.payload(task.ticket);
+        m.at = ring_->next_hop(task.from, m.key);
+      }
+    }
+  });
+  for (auto& box : mailboxes_) box.clear();  // keep capacity
+  fills_pending_ = 0;
+}
+
+NetMetrics ParallelNetSimulator::run() {
+  begin_run("ParallelNetSimulator");
+  // Each window drains everything due before (earliest event + lookahead),
+  // in global (time, seq) order — including zero-delay operation starts
+  // scheduled mid-window — then resolves the window's deferred hops at the
+  // barrier. Every wire message sent at time t inside the window is due at
+  // t + delay >= t + lookahead >= window end, so its fill always lands
+  // before the pop that needs it.
+  MessageQueue::Event e;
+  while (!queue_.empty() && budget_left()) {
+    const SimTime bound = queue_.min_time() + lookahead_;
+    while (budget_left() && queue_.pop_before(bound, e)) {
+      execute(e);
+    }
+    finish_window();
+  }
+  return finish();
+}
+
+}  // namespace geochoice::net

@@ -1,0 +1,122 @@
+// parallel_simulator.hpp — conservative parallel execution of the wire
+// simulator, bit-identical to NetSimulator.
+//
+// Why naive parallel DES cannot work here: every random draw (link
+// latencies, client picks, candidate positions, tie breaks) comes from a
+// *global* per-purpose substream consumed in global (time, seq) pop order
+// — that is the determinism contract the golden trace hash pins. Workers
+// draining ring shards independently would consume those streams in a
+// schedule-dependent order and produce a different (nondeterministic)
+// trace. So this engine keeps a single sequencing thread that replays the
+// sequential logic exactly — same pops, same draws, same handler side
+// effects, same hash folds (all via SimCore, the code NetSimulator runs)
+// — and extracts parallelism from the one per-event computation that
+// consumes no randomness and no mutable state: Chord next-hop resolution,
+// the finger-table scan that dominates per-event cost at large n.
+//
+// Execution model. Time advances in conservative windows of length
+//   lookahead = LatencyModel::min()  (> 0; validated at construction).
+// Every message put on the wire at time t is due no earlier than
+// t + lookahead, i.e. beyond the current window — so while the sequencer
+// drains a window, a forwarded message's next hop is not needed yet. The
+// sequencer therefore pushes forwarded messages with their `at` field
+// still stale, and banks a fill task {queue ticket, forwarding node} into
+// the mailbox of the forwarding node's ring shard (contiguous node
+// ranges, the PR-2 sharding discipline). At the window barrier a
+// WindowBarrier crew resolves all banked next hops in parallel — each
+// worker owns a contiguous shard range (parallel::shard_begin), so its
+// finger-table working set stays shard-local — writing results in place
+// through EventQueue::payload(). Fills are write-disjoint by construction
+// (one ticket, one task) and the barrier's happens-before edges order
+// them between the window's pushes and the next window's pops. Zero-delay
+// self-deliveries (operation starts) stay inside the window and are
+// drained in (time, seq) order by the min_time() re-check.
+//
+// The result: the executed event sequence is *the* sequential sequence —
+// same prefix under max_events, same metrics, same golden FNV trace hash
+// — at any worker/shard count. The price is Amdahl: only the routing
+// resolution leaves the sequencing thread, so speedup is bounded by the
+// next-hop share of per-event cost (which grows with n as finger tables
+// outgrow cache) and small rings gain nothing — see README "Parallel
+// simulation" for when to prefer the sequential engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/sim_core.hpp"
+#include "parallel/window_barrier.hpp"
+
+namespace geochoice::net {
+
+struct ParallelConfig {
+  /// Barrier participants including the calling thread; 0 = hardware
+  /// concurrency (min 1). 1 spawns no threads: fills run inline at each
+  /// barrier, making the 1-worker engine a pure-overhead measurement of
+  /// the windowing machinery.
+  std::size_t workers = 0;
+  /// Contiguous ring shards fill work is bucketed by; 0 = 4 per worker.
+  /// More shards than occupied ring regions simply leaves workers idle
+  /// (the shard-starved regime) — correctness never depends on the count.
+  std::uint32_t shards = 0;
+};
+
+class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
+ public:
+  /// `ring` must outlive the simulator and must have finger tables built.
+  /// Throws if the latency model's minimum is not positive (zero lookahead
+  /// admits no conservative window — use NetSimulator for zero-delay
+  /// validation runs).
+  ParallelNetSimulator(const dht::ChordRing& ring, const NetConfig& cfg,
+                       const ParallelConfig& par = {});
+
+  /// Run the full simulation to completion. Single-shot. Returns metrics
+  /// bit-identical to NetSimulator::run() for the same (ring, cfg).
+  NetMetrics run();
+
+  /// make_ring (shared with NetSimulator) + run in one call.
+  [[nodiscard]] static NetMetrics simulate(const NetConfig& cfg,
+                                           const ParallelConfig& par = {});
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return crew_.worker_count();
+  }
+  [[nodiscard]] std::uint32_t shard_count() const noexcept { return shards_; }
+
+ private:
+  friend class SimCore<ParallelNetSimulator>;
+
+  /// A next-hop resolution banked for the window barrier: complete the
+  /// ticket's payload (`at` field) from the forwarding node's fingers.
+  struct FillTask {
+    MessageQueue::Ticket ticket;
+    std::uint32_t from = 0;
+  };
+
+  /// Deferred hop: the message goes on the wire immediately (latency draw
+  /// in sequential order) with `at` stale; the resolution is banked on
+  /// the forwarding node's shard mailbox for the barrier crew.
+  void forward_hop(SimTime now, Message& m, std::uint32_t from) {
+    const auto ticket = send_link(now, m);
+    mailboxes_[shard_of(from)].push_back({ticket, from});
+    ++fills_pending_;
+  }
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t node) const noexcept {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(node) *
+                                      shards_ / ring_->node_count());
+  }
+
+  /// Window barrier: resolve every banked next hop, shard ranges split
+  /// across the crew. No-op when the window forwarded nothing.
+  void finish_window();
+
+  std::uint32_t shards_ = 1;
+  parallel::WindowBarrier crew_;
+  std::vector<std::vector<FillTask>> mailboxes_;  // one per shard
+  std::size_t fills_pending_ = 0;
+  double lookahead_ = 0.0;
+};
+
+}  // namespace geochoice::net

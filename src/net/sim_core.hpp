@@ -1,0 +1,521 @@
+// sim_core.hpp — the shared heart of the wire-level simulators.
+//
+// NetSimulator (simulator.hpp) and ParallelNetSimulator
+// (parallel_simulator.hpp) must produce bit-identical traces: same RNG
+// draw order, same handler side effects, same hash folds, same event
+// schedule. The only way to guarantee that under maintenance is for them
+// to *be* the same code, so everything except the drive loop and one
+// routing step lives here in SimCore, a CRTP base both engines derive
+// from. The single customization point is forward_hop(): called when a
+// routed message must advance one Chord hop, after the hop counter and
+// sender field are updated but before the next-hop node is resolved.
+//
+//   * NetSimulator resolves the finger-table next_hop inline and sends —
+//     the classic sequential step.
+//   * ParallelNetSimulator sends the message with its `at` field still
+//     stale and defers the next_hop resolution to a per-shard mailbox
+//     drained by the worker crew at the window barrier. next_hop consumes
+//     no randomness and touches no mutable simulator state, which is
+//     exactly why it is the one piece of work that can leave the
+//     sequential instruction stream without perturbing the trace; the
+//     latency draw stays here, in global pop order.
+//
+// Determinism contract (details in simulator.hpp's header comment): the
+// queue breaks time ties by schedule order, handlers run in exact
+// (time, seq) pop order on the sequencing thread, and every draw comes
+// from a (seed, trial, purpose) substream — so a (seed, config) pair
+// fixes the entire event trace bit-for-bit regardless of engine, host
+// timing, or thread count.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/object_pool.hpp"
+#include "core/tie_breaking.hpp"
+#include "dht/chord.hpp"
+#include "net/event_queue.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "rng/streams.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace geochoice::net {
+
+struct NetConfig {
+  /// Ring size n (only used by make_ring/simulate; a caller-supplied ring
+  /// fixes n itself).
+  std::size_t nodes = 1 << 8;
+  /// Keys inserted via wire-level two-choice; 0 means keys = nodes.
+  std::uint64_t keys = 0;
+  /// Candidate positions per key (d >= 1, <= kMaxChoices).
+  int choices = 2;
+  /// Maximum insert (and later lookup) operations in flight. 1 serializes
+  /// operations — the staleness-free baseline; larger windows let load
+  /// replies go stale by the placements in flight.
+  std::uint32_t window = 1;
+  /// Tie-break among equal-load candidates. kFirstChoice and kLowestIndex
+  /// replay run_process exactly; kRandom matches it in distribution (the
+  /// draw comes from a dedicated substream). Region-measure ties would
+  /// need arc sizes on the wire and are rejected.
+  core::TieBreak tie = core::TieBreak::kRandom;
+  LatencyModel latency = LatencyModel::constant(1.0);
+  /// Measurement lookups issued after all inserts complete.
+  std::uint64_t lookups = 0;
+  std::uint64_t seed = 0x6e657473696d2121ULL;  // "netsim!!"
+  std::uint64_t trial = 0;
+  /// Record the full executed-event trace (tests; costs memory).
+  bool collect_trace = false;
+  /// Stop after executing this many events, leaving any remaining work —
+  /// including in-flight operations — unexecuted. 0 means run to drain.
+  /// Bounded runs are how tests tear the simulator down mid-flight.
+  std::uint64_t max_events = 0;
+
+  [[nodiscard]] std::uint64_t insert_count() const noexcept {
+    return keys == 0 ? static_cast<std::uint64_t>(nodes) : keys;
+  }
+};
+
+inline constexpr int kMaxChoices = 16;
+
+/// Aggregate results of one simulation run.
+struct NetMetrics {
+  std::uint64_t events = 0;  // executed events (= delivered messages + local op starts)
+  std::uint64_t links = 0;   // link traversals (the wire cost)
+  std::array<std::uint64_t, kMsgTypeCount> links_by_type{};
+  /// Total forwarding hops spent routing insert probes — the wire price of
+  /// consulting d candidates before placing.
+  std::uint64_t probe_hops = 0;
+  /// Placements whose owner load had changed between the load reply and
+  /// the placement's arrival (two-choice acting on stale information).
+  std::uint64_t stale_reads = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  std::uint32_t max_load = 0;
+  std::vector<std::uint32_t> loads;  // final keys per node (ring order)
+  /// Chord path length per lookup: forwards excluding the final delivery
+  /// hop onto the owner (the node before it already resolved the query).
+  /// Mean ~ 1/2 * log2(n); the full wire path is one hop longer.
+  stats::RunningStats lookup_hops;
+  stats::RunningStats insert_latency;
+  stats::RunningStats lookup_latency;
+  stats::P2QuantileSet lookup_hops_q{{0.5, 0.9, 0.99}};
+  stats::P2QuantileSet insert_latency_q{{0.5, 0.9, 0.99}};
+  stats::P2QuantileSet lookup_latency_q{{0.5, 0.9, 0.99}};
+  SimTime end_time = 0.0;
+  /// FNV-1a fold of every executed event (time, message fields): the
+  /// golden-trace fingerprint the determinism tests pin.
+  std::uint64_t trace_hash = 0xcbf29ce484222325ULL;
+};
+
+/// One executed event, for full-trace comparisons in tests.
+struct TraceEvent {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  Message msg;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+namespace detail {
+
+/// FNV-1a fold of one 64-bit word into the trace fingerprint.
+inline void fold(std::uint64_t& h, std::uint64_t w) noexcept {
+  h ^= w;
+  h *= 0x100000001b3ULL;
+}
+
+inline std::uint64_t bits(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+/// Calendar-queue day-width hint: the latency scale spread over the
+/// messages a full window keeps in flight. Only a starting point — the
+/// queue re-derives the width from the live schedule as it resizes.
+inline SimTime queue_width_hint(const NetConfig& cfg) noexcept {
+  const double inflight =
+      static_cast<double>(cfg.window) * static_cast<double>(cfg.choices);
+  return cfg.latency.mean() / (inflight > 1.0 ? inflight : 1.0);
+}
+
+}  // namespace detail
+
+/// Shared simulator state and handlers. Derived must provide
+/// `void forward_hop(SimTime now, Message& m, std::uint32_t from)` (see
+/// the header comment) and its own run() built from execute() /
+/// budget_left() / finish().
+template <typename Derived>
+class SimCore {
+ public:
+  /// Executed-event trace (empty unless cfg.collect_trace).
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+
+ protected:
+  /// In-flight operation records live in core::ObjectPool slabs; messages
+  /// carry the packed pool handle, so reply handlers reach their op state
+  /// with one generation-checked array access instead of a map lookup, and
+  /// the steady-state loop allocates nothing. `op` is the sequential
+  /// operation id (what the trace hash folds), kept for integrity checks.
+  struct InsertOp {
+    SimTime start = 0.0;
+    std::uint64_t op = 0;
+    std::array<std::uint32_t, kMaxChoices> owner{};
+    std::array<std::uint32_t, kMaxChoices> load{};
+    int replies = 0;
+  };
+  struct LookupOp {
+    SimTime start = 0.0;
+    std::uint64_t op = 0;
+  };
+  using InsertPool = core::ObjectPool<InsertOp>;
+  using LookupPool = core::ObjectPool<LookupOp>;
+
+  /// `ring` must outlive the simulator and must have finger tables built.
+  SimCore(const dht::ChordRing& ring, const NetConfig& cfg)
+      : ring_(&ring),
+        cfg_(cfg),
+        total_inserts_(cfg.insert_count()),
+        queue_(detail::queue_width_hint(cfg)),
+        candidates_(rng::make_stream(cfg.seed, cfg.trial,
+                                     rng::StreamPurpose::kBallChoices)),
+        clients_(rng::make_stream(cfg.seed, cfg.trial,
+                                  rng::StreamPurpose::kWorkload)),
+        latency_(rng::make_stream(cfg.seed, cfg.trial,
+                                  rng::StreamPurpose::kNetLatency)),
+        ties_(rng::make_stream(cfg.seed, cfg.trial,
+                               rng::StreamPurpose::kTieBreaking)),
+        loads_(ring.node_count(), 0) {
+    if (!ring.has_fingers()) {
+      throw std::invalid_argument(
+          "NetSimulator: ring needs build_fingers() for message routing");
+    }
+    if (cfg.choices < 1 || cfg.choices > kMaxChoices) {
+      throw std::invalid_argument("NetSimulator: choices must be in [1, " +
+                                  std::to_string(kMaxChoices) + "]");
+    }
+    if (cfg.window < 1) {
+      throw std::invalid_argument("NetSimulator: window must be >= 1");
+    }
+    if (core::needs_region_measure(cfg.tie)) {
+      throw std::invalid_argument(
+          "NetSimulator: region-measure tie-breaks would need arc sizes on "
+          "the wire; use kFirstChoice, kLowestIndex or kRandom");
+    }
+    cfg.latency.validate();
+    // One slot per windowed operation: after this the pools never allocate.
+    insert_ops_.reserve(cfg.window);
+    lookup_ops_.reserve(cfg.window);
+  }
+
+  [[nodiscard]] Derived& derived() noexcept {
+    return static_cast<Derived&>(*this);
+  }
+
+  [[nodiscard]] std::uint32_t pick_client() {
+    return static_cast<std::uint32_t>(
+        rng::uniform_below(clients_, ring_->node_count()));
+  }
+
+  /// Schedule `m` across one link: samples a delay, counts the traversal.
+  /// Returns the queue ticket so a deferring engine can fill the payload
+  /// later; the sequential engine ignores it.
+  MessageQueue::Ticket send_link(SimTime now, const Message& m) {
+    ++metrics_.links;
+    ++metrics_.links_by_type[static_cast<std::size_t>(m.type)];
+    return queue_.push(now + cfg_.latency.sample(latency_), m);
+  }
+
+  /// Zero-delay self-delivery starting an operation at its client.
+  void start_local(SimTime now, const Message& m) { queue_.push(now, m); }
+
+  void issue_insert(SimTime now) {
+    const std::uint64_t op = next_insert_++;
+    const std::uint32_t client = pick_client();
+    // Candidate draws happen at issue time, in operation order — with
+    // window = 1 this is exactly the run_process draw order.
+    std::array<double, kMaxChoices> candidate{};
+    for (int j = 0; j < cfg_.choices; ++j) {
+      candidate[static_cast<std::size_t>(j)] = rng::uniform01(candidates_);
+    }
+    const auto slot = insert_ops_.emplace(InsertOp{now, op, {}, {}, 0}).pack();
+    for (int j = 0; j < cfg_.choices; ++j) {
+      Message m;
+      m.type = MsgType::kProbe;
+      m.at = client;
+      m.from = client;
+      m.client = client;
+      m.op = op;
+      m.probe = static_cast<std::uint8_t>(j);
+      m.key = candidate[static_cast<std::size_t>(j)];
+      m.dest = ring_->successor(m.key);
+      m.slot = slot;
+      start_local(now, m);
+    }
+  }
+
+  void issue_lookup(SimTime now) {
+    const std::uint64_t op = next_lookup_++;
+    const std::uint32_t client = pick_client();
+    Message m;
+    m.type = MsgType::kLookup;
+    m.at = client;
+    m.from = client;
+    m.client = client;
+    m.op = op;
+    m.key = rng::uniform01(candidates_);
+    m.dest = ring_->successor(m.key);
+    m.slot = lookup_ops_.emplace(LookupOp{now, op}).pack();
+    start_local(now, m);
+  }
+
+  void advance_phase(SimTime now) {
+    while (insert_ops_.live() < cfg_.window && next_insert_ < total_inserts_) {
+      issue_insert(now);
+    }
+    // Lookups measure the settled ring: they start only once every insert
+    // has been acknowledged.
+    if (done_inserts_ == total_inserts_) {
+      while (lookup_ops_.live() < cfg_.window && next_lookup_ < cfg_.lookups) {
+        issue_lookup(now);
+      }
+    }
+  }
+
+  /// Forward `m` one greedy hop toward `owner` unless it has arrived.
+  /// Returns true when m.at == owner; throws if routing exceeds n hops.
+  /// The hop itself goes through Derived::forward_hop — the one step the
+  /// engines implement differently.
+  bool route_toward(SimTime now, Message& m, std::uint32_t owner) {
+    const std::uint32_t here = m.at;
+    if (here == owner) return true;
+    // Greedy routing strictly advances toward the key, so a message can
+    // never revisit a node: more than n forwards means the finger logic is
+    // broken. Fail loudly instead of letting the event queue spin forever
+    // (the cycle guard ChordRing::lookup keeps for the same loop).
+    if (m.hops >= ring_->node_count()) {
+      throw std::logic_error("NetSimulator: routing exceeded n hops (cycle?)");
+    }
+    m.from = here;
+    ++m.hops;
+    derived().forward_hop(now, m, here);
+    return false;
+  }
+
+  void on_probe(SimTime now, Message m) {
+    if (!route_toward(now, m, m.dest)) return;
+    const std::uint32_t here = m.at;
+    Message r = m;
+    r.type = MsgType::kProbeReply;
+    r.at = m.client;
+    r.from = here;
+    r.load = loads_[here];
+    send_link(now, r);
+  }
+
+  void on_probe_reply(SimTime now, const Message& m) {
+    auto& op = insert_ops_.get(InsertPool::Handle::unpack(m.slot));
+    if (op.op != m.op) {
+      throw std::logic_error(
+          "NetSimulator: probe reply for a recycled op slot");
+    }
+    op.owner[m.probe] = m.from;
+    op.load[m.probe] = m.load;
+    metrics_.probe_hops += m.hops;
+    if (++op.replies < cfg_.choices) return;
+
+    // All d replies in: pick the least-loaded candidate. The loads compared
+    // here are reply-time snapshots — under a wide window they may already
+    // be stale.
+    int best = 0;
+    std::uint32_t best_load = op.load[0];
+    std::uint32_t tied = 1;
+    for (int j = 1; j < cfg_.choices; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      const std::uint32_t load = op.load[js];
+      if (load < best_load) {
+        best = j;
+        best_load = load;
+        tied = 1;
+        continue;
+      }
+      if (load > best_load) continue;
+      switch (cfg_.tie) {
+        case core::TieBreak::kRandom:
+          ++tied;
+          if (rng::uniform_below(ties_, tied) == 0) best = j;
+          break;
+        case core::TieBreak::kFirstChoice:
+          break;
+        case core::TieBreak::kLowestIndex:
+          if (op.owner[js] < op.owner[static_cast<std::size_t>(best)]) {
+            best = j;
+          }
+          break;
+        default:
+          break;  // region ties rejected in the constructor
+      }
+    }
+
+    const auto bs = static_cast<std::size_t>(best);
+    Message place;
+    place.type = MsgType::kPlace;
+    place.at = op.owner[bs];
+    place.from = m.client;
+    place.client = m.client;
+    place.op = m.op;
+    place.probe = static_cast<std::uint8_t>(best);
+    place.load = op.load[bs];
+    place.slot = m.slot;
+    send_link(now, place);
+  }
+
+  void on_place(SimTime now, const Message& m) {
+    const std::uint32_t here = m.at;
+    if (loads_[here] != m.load) ++metrics_.stale_reads;
+    const std::uint32_t new_load = ++loads_[here];
+    if (new_load > metrics_.max_load) metrics_.max_load = new_load;
+    Message ack = m;
+    ack.type = MsgType::kPlaceAck;
+    ack.at = m.client;
+    ack.from = here;
+    send_link(now, ack);
+  }
+
+  void on_place_ack(SimTime now, const Message& m) {
+    const auto h = InsertPool::Handle::unpack(m.slot);
+    const double latency = now - insert_ops_.get(h).start;
+    insert_ops_.release(h);
+    metrics_.insert_latency.add(latency);
+    metrics_.insert_latency_q.add(latency);
+    ++metrics_.inserts;
+    ++done_inserts_;
+    advance_phase(now);
+  }
+
+  void on_lookup(SimTime now, Message m) {
+    if (!route_toward(now, m, m.dest)) return;
+    Message r = m;
+    r.type = MsgType::kLookupReply;
+    r.at = m.client;
+    r.from = m.at;
+    send_link(now, r);
+  }
+
+  void on_lookup_reply(SimTime now, const Message& m) {
+    const auto h = LookupPool::Handle::unpack(m.slot);
+    const LookupOp& op = lookup_ops_.get(h);
+    if (op.op != m.op) {
+      throw std::logic_error("NetSimulator: lookup reply for a recycled slot");
+    }
+    const double latency = now - op.start;
+    lookup_ops_.release(h);
+    // Chord path length: finger-table consultations that forwarded the
+    // query. The query is *resolved* at the owner's predecessor (which sees
+    // key in (self, successor]); the final delivery hop onto the owner is
+    // wire cost (in `links` and the latency metrics) but not routing work —
+    // this is the quantity the 1/2 * log2(n) prediction describes.
+    const double route_hops =
+        m.hops == 0 ? 0.0 : static_cast<double>(m.hops - 1);
+    metrics_.lookup_hops.add(route_hops);
+    metrics_.lookup_hops_q.add(route_hops);
+    metrics_.lookup_latency.add(latency);
+    metrics_.lookup_latency_q.add(latency);
+    ++metrics_.lookups;
+    advance_phase(now);
+  }
+
+  void on_event(SimTime now, const Message& m) {
+    switch (m.type) {
+      case MsgType::kProbe:
+        on_probe(now, m);
+        return;
+      case MsgType::kProbeReply:
+        on_probe_reply(now, m);
+        return;
+      case MsgType::kPlace:
+        on_place(now, m);
+        return;
+      case MsgType::kPlaceAck:
+        on_place_ack(now, m);
+        return;
+      case MsgType::kLookup:
+        on_lookup(now, m);
+        return;
+      case MsgType::kLookupReply:
+        on_lookup_reply(now, m);
+        return;
+    }
+    throw std::logic_error("NetSimulator: unknown message type");
+  }
+
+  /// Execute one popped event: count it, fold the trace hash, record the
+  /// trace entry, dispatch the handler. Both engines' drive loops are
+  /// made of exactly this, so the per-event observable effects cannot
+  /// diverge.
+  void execute(const MessageQueue::Event& e) {
+    ++metrics_.events;
+    metrics_.end_time = e.time;
+    detail::fold(metrics_.trace_hash, detail::bits(e.time));
+    detail::fold(metrics_.trace_hash, e.seq);
+    detail::fold(metrics_.trace_hash,
+                 (static_cast<std::uint64_t>(e.payload.type) << 48) ^
+                     (static_cast<std::uint64_t>(e.payload.at) << 16) ^
+                     e.payload.probe);
+    detail::fold(metrics_.trace_hash,
+                 (static_cast<std::uint64_t>(e.payload.client) << 32) ^
+                     e.payload.hops);
+    detail::fold(metrics_.trace_hash, e.payload.op);
+    detail::fold(metrics_.trace_hash, detail::bits(e.payload.key));
+    detail::fold(metrics_.trace_hash, e.payload.load);
+    if (cfg_.collect_trace) trace_.push_back({e.time, e.seq, e.payload});
+    on_event(e.time, e.payload);
+  }
+
+  /// True while the max_events budget (if any) has room for another event.
+  [[nodiscard]] bool budget_left() const noexcept {
+    return cfg_.max_events == 0 || metrics_.events < cfg_.max_events;
+  }
+
+  /// Mark the run started (throws on reuse) and seed the first window of
+  /// operations.
+  void begin_run(const char* engine) {
+    if (ran_) {
+      throw std::logic_error(std::string(engine) + "::run: single-shot");
+    }
+    ran_ = true;
+    advance_phase(0.0);
+  }
+
+  /// Snapshot final per-node loads and hand the metrics out.
+  NetMetrics finish() {
+    metrics_.loads = loads_;
+    return metrics_;
+  }
+
+  const dht::ChordRing* ring_;
+  NetConfig cfg_;
+  std::uint64_t total_inserts_;
+  MessageQueue queue_;
+  rng::DefaultEngine candidates_;
+  rng::DefaultEngine clients_;
+  rng::DefaultEngine latency_;
+  rng::DefaultEngine ties_;
+  std::vector<std::uint32_t> loads_;
+  InsertPool insert_ops_;
+  LookupPool lookup_ops_;
+  std::uint64_t next_insert_ = 0;
+  std::uint64_t next_lookup_ = 0;
+  std::uint64_t done_inserts_ = 0;
+  bool ran_ = false;
+  NetMetrics metrics_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace geochoice::net

@@ -1,69 +1,6 @@
 #include "net/simulator.hpp"
 
-#include <bit>
-#include <stdexcept>
-#include <string>
-
 namespace geochoice::net {
-
-namespace {
-
-/// FNV-1a fold of one 64-bit word into the trace fingerprint.
-inline void fold(std::uint64_t& h, std::uint64_t w) noexcept {
-  h ^= w;
-  h *= 0x100000001b3ULL;
-}
-
-inline std::uint64_t bits(double x) noexcept {
-  return std::bit_cast<std::uint64_t>(x);
-}
-
-/// Calendar-queue day-width hint: the latency scale spread over the
-/// messages a full window keeps in flight. Only a starting point — the
-/// queue re-derives the width from the live schedule as it resizes.
-inline net::SimTime queue_width_hint(const net::NetConfig& cfg) noexcept {
-  const double inflight =
-      static_cast<double>(cfg.window) * static_cast<double>(cfg.choices);
-  return cfg.latency.mean() / (inflight > 1.0 ? inflight : 1.0);
-}
-
-}  // namespace
-
-NetSimulator::NetSimulator(const dht::ChordRing& ring, const NetConfig& cfg)
-    : ring_(&ring),
-      cfg_(cfg),
-      total_inserts_(cfg.insert_count()),
-      queue_(queue_width_hint(cfg)),
-      candidates_(rng::make_stream(cfg.seed, cfg.trial,
-                                   rng::StreamPurpose::kBallChoices)),
-      clients_(
-          rng::make_stream(cfg.seed, cfg.trial, rng::StreamPurpose::kWorkload)),
-      latency_(rng::make_stream(cfg.seed, cfg.trial,
-                                rng::StreamPurpose::kNetLatency)),
-      ties_(rng::make_stream(cfg.seed, cfg.trial,
-                             rng::StreamPurpose::kTieBreaking)),
-      loads_(ring.node_count(), 0) {
-  if (!ring.has_fingers()) {
-    throw std::invalid_argument(
-        "NetSimulator: ring needs build_fingers() for message routing");
-  }
-  if (cfg.choices < 1 || cfg.choices > kMaxChoices) {
-    throw std::invalid_argument("NetSimulator: choices must be in [1, " +
-                                std::to_string(kMaxChoices) + "]");
-  }
-  if (cfg.window < 1) {
-    throw std::invalid_argument("NetSimulator: window must be >= 1");
-  }
-  if (core::needs_region_measure(cfg.tie)) {
-    throw std::invalid_argument(
-        "NetSimulator: region-measure tie-breaks would need arc sizes on "
-        "the wire; use kFirstChoice, kLowestIndex or kRandom");
-  }
-  cfg.latency.validate();
-  // One slot per windowed operation: after this the pools never allocate.
-  insert_ops_.reserve(cfg.window);
-  lookup_ops_.reserve(cfg.window);
-}
 
 dht::ChordRing NetSimulator::make_ring(const NetConfig& cfg) {
   auto gen = rng::make_stream(cfg.seed, cfg.trial,
@@ -79,264 +16,12 @@ NetMetrics NetSimulator::simulate(const NetConfig& cfg) {
   return sim.run();
 }
 
-std::uint32_t NetSimulator::pick_client() {
-  return static_cast<std::uint32_t>(
-      rng::uniform_below(clients_, ring_->node_count()));
-}
-
-void NetSimulator::send_link(SimTime now, Message m) {
-  ++metrics_.links;
-  ++metrics_.links_by_type[static_cast<std::size_t>(m.type)];
-  queue_.push(now + cfg_.latency.sample(latency_), m);
-}
-
-void NetSimulator::start_local(SimTime now, Message m) {
-  // An operation begins as a zero-delay self-delivery at its client: the
-  // client runs the same routing handler as any other node, but no link
-  // has been traversed yet.
-  queue_.push(now, m);
-}
-
-void NetSimulator::issue_insert(SimTime now) {
-  const std::uint64_t op = next_insert_++;
-  const std::uint32_t client = pick_client();
-  // Candidate draws happen at issue time, in operation order — with
-  // window = 1 this is exactly the run_process draw order.
-  std::array<double, kMaxChoices> candidate{};
-  for (int j = 0; j < cfg_.choices; ++j) {
-    candidate[static_cast<std::size_t>(j)] = rng::uniform01(candidates_);
-  }
-  const auto slot = insert_ops_.emplace(InsertOp{now, op, {}, {}, 0}).pack();
-  for (int j = 0; j < cfg_.choices; ++j) {
-    Message m;
-    m.type = MsgType::kProbe;
-    m.at = client;
-    m.from = client;
-    m.client = client;
-    m.op = op;
-    m.probe = static_cast<std::uint8_t>(j);
-    m.key = candidate[static_cast<std::size_t>(j)];
-    m.dest = ring_->successor(m.key);
-    m.slot = slot;
-    start_local(now, m);
-  }
-}
-
-void NetSimulator::issue_lookup(SimTime now) {
-  const std::uint64_t op = next_lookup_++;
-  const std::uint32_t client = pick_client();
-  Message m;
-  m.type = MsgType::kLookup;
-  m.at = client;
-  m.from = client;
-  m.client = client;
-  m.op = op;
-  m.key = rng::uniform01(candidates_);
-  m.dest = ring_->successor(m.key);
-  m.slot = lookup_ops_.emplace(LookupOp{now, op}).pack();
-  start_local(now, m);
-}
-
-void NetSimulator::advance_phase(SimTime now) {
-  while (insert_ops_.live() < cfg_.window && next_insert_ < total_inserts_) {
-    issue_insert(now);
-  }
-  // Lookups measure the settled ring: they start only once every insert
-  // has been acknowledged.
-  if (done_inserts_ == total_inserts_) {
-    while (lookup_ops_.live() < cfg_.window && next_lookup_ < cfg_.lookups) {
-      issue_lookup(now);
-    }
-  }
-}
-
-bool NetSimulator::route_toward(SimTime now, Message& m,
-                                std::uint32_t owner) {
-  const std::uint32_t here = m.at;
-  if (here == owner) return true;
-  // Greedy routing strictly advances toward the key, so a message can
-  // never revisit a node: more than n forwards means the finger logic is
-  // broken. Fail loudly instead of letting the event queue spin forever
-  // (the cycle guard ChordRing::lookup keeps for the same loop).
-  if (m.hops >= ring_->node_count()) {
-    throw std::logic_error("NetSimulator: routing exceeded n hops (cycle?)");
-  }
-  m.from = here;
-  m.at = ring_->next_hop(here, m.key);
-  ++m.hops;
-  send_link(now, m);
-  return false;
-}
-
-void NetSimulator::on_probe(SimTime now, Message m) {
-  if (!route_toward(now, m, m.dest)) return;
-  const std::uint32_t here = m.at;
-  Message r = m;
-  r.type = MsgType::kProbeReply;
-  r.at = m.client;
-  r.from = here;
-  r.load = loads_[here];
-  send_link(now, r);
-}
-
-void NetSimulator::on_probe_reply(SimTime now, const Message& m) {
-  auto& op = insert_ops_.get(InsertPool::Handle::unpack(m.slot));
-  if (op.op != m.op) {
-    throw std::logic_error("NetSimulator: probe reply for a recycled op slot");
-  }
-  op.owner[m.probe] = m.from;
-  op.load[m.probe] = m.load;
-  metrics_.probe_hops += m.hops;
-  if (++op.replies < cfg_.choices) return;
-
-  // All d replies in: pick the least-loaded candidate. The loads compared
-  // here are reply-time snapshots — under a wide window they may already
-  // be stale.
-  int best = 0;
-  std::uint32_t best_load = op.load[0];
-  std::uint32_t tied = 1;
-  for (int j = 1; j < cfg_.choices; ++j) {
-    const auto js = static_cast<std::size_t>(j);
-    const std::uint32_t load = op.load[js];
-    if (load < best_load) {
-      best = j;
-      best_load = load;
-      tied = 1;
-      continue;
-    }
-    if (load > best_load) continue;
-    switch (cfg_.tie) {
-      case core::TieBreak::kRandom:
-        ++tied;
-        if (rng::uniform_below(ties_, tied) == 0) best = j;
-        break;
-      case core::TieBreak::kFirstChoice:
-        break;
-      case core::TieBreak::kLowestIndex:
-        if (op.owner[js] < op.owner[static_cast<std::size_t>(best)]) best = j;
-        break;
-      default:
-        break;  // region ties rejected in the constructor
-    }
-  }
-
-  const auto bs = static_cast<std::size_t>(best);
-  Message place;
-  place.type = MsgType::kPlace;
-  place.at = op.owner[bs];
-  place.from = m.client;
-  place.client = m.client;
-  place.op = m.op;
-  place.probe = static_cast<std::uint8_t>(best);
-  place.load = op.load[bs];
-  place.slot = m.slot;
-  send_link(now, place);
-}
-
-void NetSimulator::on_place(SimTime now, const Message& m) {
-  const std::uint32_t here = m.at;
-  if (loads_[here] != m.load) ++metrics_.stale_reads;
-  const std::uint32_t new_load = ++loads_[here];
-  if (new_load > metrics_.max_load) metrics_.max_load = new_load;
-  Message ack = m;
-  ack.type = MsgType::kPlaceAck;
-  ack.at = m.client;
-  ack.from = here;
-  send_link(now, ack);
-}
-
-void NetSimulator::on_place_ack(SimTime now, const Message& m) {
-  const auto h = InsertPool::Handle::unpack(m.slot);
-  const double latency = now - insert_ops_.get(h).start;
-  insert_ops_.release(h);
-  metrics_.insert_latency.add(latency);
-  metrics_.insert_latency_q.add(latency);
-  ++metrics_.inserts;
-  ++done_inserts_;
-  advance_phase(now);
-}
-
-void NetSimulator::on_lookup(SimTime now, Message m) {
-  if (!route_toward(now, m, m.dest)) return;
-  Message r = m;
-  r.type = MsgType::kLookupReply;
-  r.at = m.client;
-  r.from = m.at;
-  send_link(now, r);
-}
-
-void NetSimulator::on_lookup_reply(SimTime now, const Message& m) {
-  const auto h = LookupPool::Handle::unpack(m.slot);
-  const LookupOp& op = lookup_ops_.get(h);
-  if (op.op != m.op) {
-    throw std::logic_error("NetSimulator: lookup reply for a recycled slot");
-  }
-  const double latency = now - op.start;
-  lookup_ops_.release(h);
-  // Chord path length: finger-table consultations that forwarded the
-  // query. The query is *resolved* at the owner's predecessor (which sees
-  // key in (self, successor]); the final delivery hop onto the owner is
-  // wire cost (in `links` and the latency metrics) but not routing work —
-  // this is the quantity the 1/2 * log2(n) prediction describes.
-  const double route_hops = m.hops == 0 ? 0.0 : static_cast<double>(m.hops - 1);
-  metrics_.lookup_hops.add(route_hops);
-  metrics_.lookup_hops_q.add(route_hops);
-  metrics_.lookup_latency.add(latency);
-  metrics_.lookup_latency_q.add(latency);
-  ++metrics_.lookups;
-  advance_phase(now);
-}
-
-void NetSimulator::on_event(SimTime now, const Message& m) {
-  switch (m.type) {
-    case MsgType::kProbe:
-      on_probe(now, m);
-      return;
-    case MsgType::kProbeReply:
-      on_probe_reply(now, m);
-      return;
-    case MsgType::kPlace:
-      on_place(now, m);
-      return;
-    case MsgType::kPlaceAck:
-      on_place_ack(now, m);
-      return;
-    case MsgType::kLookup:
-      on_lookup(now, m);
-      return;
-    case MsgType::kLookupReply:
-      on_lookup_reply(now, m);
-      return;
-  }
-  throw std::logic_error("NetSimulator: unknown message type");
-}
-
 NetMetrics NetSimulator::run() {
-  if (ran_) throw std::logic_error("NetSimulator::run: single-shot");
-  ran_ = true;
-  advance_phase(0.0);
-  while (!queue_.empty() &&
-         (cfg_.max_events == 0 || metrics_.events < cfg_.max_events)) {
-    const auto e = queue_.pop();
-    ++metrics_.events;
-    metrics_.end_time = e.time;
-    fold(metrics_.trace_hash, bits(e.time));
-    fold(metrics_.trace_hash, e.seq);
-    fold(metrics_.trace_hash,
-         (static_cast<std::uint64_t>(e.payload.type) << 48) ^
-             (static_cast<std::uint64_t>(e.payload.at) << 16) ^
-             e.payload.probe);
-    fold(metrics_.trace_hash,
-         (static_cast<std::uint64_t>(e.payload.client) << 32) ^
-             e.payload.hops);
-    fold(metrics_.trace_hash, e.payload.op);
-    fold(metrics_.trace_hash, bits(e.payload.key));
-    fold(metrics_.trace_hash, e.payload.load);
-    if (cfg_.collect_trace) trace_.push_back({e.time, e.seq, e.payload});
-    on_event(e.time, e.payload);
+  begin_run("NetSimulator");
+  while (!queue_.empty() && budget_left()) {
+    execute(queue_.pop());
   }
-  metrics_.loads = loads_;
-  return metrics_;
+  return finish();
 }
 
 }  // namespace geochoice::net

@@ -30,112 +30,28 @@
 // process collapses to exactly core::run_process over ChordSuccessorSpace
 // (chord_space.hpp) — the validation hook tying the simulator back to the
 // paper's allocation model.
+//
+// All simulation state and handlers live in SimCore (sim_core.hpp), the
+// CRTP base this engine shares bit-for-bit with ParallelNetSimulator
+// (parallel_simulator.hpp); NetSimulator contributes only the sequential
+// drive loop and the inline next-hop resolution.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <vector>
 
-#include "core/object_pool.hpp"
-#include "core/tie_breaking.hpp"
-#include "dht/chord.hpp"
-#include "net/event_queue.hpp"
-#include "net/latency.hpp"
-#include "net/message.hpp"
-#include "rng/streams.hpp"
-#include "stats/p2_quantile.hpp"
-#include "stats/summary.hpp"
+#include "net/sim_core.hpp"
 
 namespace geochoice::net {
 
-struct NetConfig {
-  /// Ring size n (only used by make_ring/simulate; a caller-supplied ring
-  /// fixes n itself).
-  std::size_t nodes = 1 << 8;
-  /// Keys inserted via wire-level two-choice; 0 means keys = nodes.
-  std::uint64_t keys = 0;
-  /// Candidate positions per key (d >= 1, <= kMaxChoices).
-  int choices = 2;
-  /// Maximum insert (and later lookup) operations in flight. 1 serializes
-  /// operations — the staleness-free baseline; larger windows let load
-  /// replies go stale by the placements in flight.
-  std::uint32_t window = 1;
-  /// Tie-break among equal-load candidates. kFirstChoice and kLowestIndex
-  /// replay run_process exactly; kRandom matches it in distribution (the
-  /// draw comes from a dedicated substream). Region-measure ties would
-  /// need arc sizes on the wire and are rejected.
-  core::TieBreak tie = core::TieBreak::kRandom;
-  LatencyModel latency = LatencyModel::constant(1.0);
-  /// Measurement lookups issued after all inserts complete.
-  std::uint64_t lookups = 0;
-  std::uint64_t seed = 0x6e657473696d2121ULL;  // "netsim!!"
-  std::uint64_t trial = 0;
-  /// Record the full executed-event trace (tests; costs memory).
-  bool collect_trace = false;
-  /// Stop after executing this many events, leaving any remaining work —
-  /// including in-flight operations — unexecuted. 0 means run to drain.
-  /// Bounded runs are how tests tear the simulator down mid-flight.
-  std::uint64_t max_events = 0;
-
-  [[nodiscard]] std::uint64_t insert_count() const noexcept {
-    return keys == 0 ? static_cast<std::uint64_t>(nodes) : keys;
-  }
-};
-
-inline constexpr int kMaxChoices = 16;
-
-/// Aggregate results of one simulation run.
-struct NetMetrics {
-  std::uint64_t events = 0;  // executed events (= delivered messages + local op starts)
-  std::uint64_t links = 0;   // link traversals (the wire cost)
-  std::array<std::uint64_t, kMsgTypeCount> links_by_type{};
-  /// Total forwarding hops spent routing insert probes — the wire price of
-  /// consulting d candidates before placing.
-  std::uint64_t probe_hops = 0;
-  /// Placements whose owner load had changed between the load reply and
-  /// the placement's arrival (two-choice acting on stale information).
-  std::uint64_t stale_reads = 0;
-  std::uint64_t inserts = 0;
-  std::uint64_t lookups = 0;
-  std::uint32_t max_load = 0;
-  std::vector<std::uint32_t> loads;  // final keys per node (ring order)
-  /// Chord path length per lookup: forwards excluding the final delivery
-  /// hop onto the owner (the node before it already resolved the query).
-  /// Mean ~ 1/2 * log2(n); the full wire path is one hop longer.
-  stats::RunningStats lookup_hops;
-  stats::RunningStats insert_latency;
-  stats::RunningStats lookup_latency;
-  stats::P2QuantileSet lookup_hops_q{{0.5, 0.9, 0.99}};
-  stats::P2QuantileSet insert_latency_q{{0.5, 0.9, 0.99}};
-  stats::P2QuantileSet lookup_latency_q{{0.5, 0.9, 0.99}};
-  SimTime end_time = 0.0;
-  /// FNV-1a fold of every executed event (time, message fields): the
-  /// golden-trace fingerprint the determinism tests pin.
-  std::uint64_t trace_hash = 0xcbf29ce484222325ULL;
-};
-
-/// One executed event, for full-trace comparisons in tests.
-struct TraceEvent {
-  SimTime time = 0.0;
-  std::uint64_t seq = 0;
-  Message msg;
-
-  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
-};
-
-class NetSimulator {
+class NetSimulator : public SimCore<NetSimulator> {
  public:
   /// `ring` must outlive the simulator and must have finger tables built.
-  NetSimulator(const dht::ChordRing& ring, const NetConfig& cfg);
+  NetSimulator(const dht::ChordRing& ring, const NetConfig& cfg)
+      : SimCore<NetSimulator>(ring, cfg) {}
 
   /// Run the full simulation (inserts, then lookups) to completion.
   /// Single-shot: a simulator instance cannot be rerun.
   NetMetrics run();
-
-  /// Executed-event trace (empty unless cfg.collect_trace).
-  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
-    return trace_;
-  }
 
   /// Random ring of cfg.nodes with fingers, from the run's
   /// kServerPlacement substream — the ring simulate() uses.
@@ -145,63 +61,14 @@ class NetSimulator {
   [[nodiscard]] static NetMetrics simulate(const NetConfig& cfg);
 
  private:
-  /// In-flight operation records live in core::ObjectPool slabs; messages
-  /// carry the packed pool handle, so reply handlers reach their op state
-  /// with one generation-checked array access instead of a map lookup, and
-  /// the steady-state loop allocates nothing. `op` is the sequential
-  /// operation id (what the trace hash folds), kept for integrity checks.
-  struct InsertOp {
-    SimTime start = 0.0;
-    std::uint64_t op = 0;
-    std::array<std::uint32_t, kMaxChoices> owner{};
-    std::array<std::uint32_t, kMaxChoices> load{};
-    int replies = 0;
-  };
-  struct LookupOp {
-    SimTime start = 0.0;
-    std::uint64_t op = 0;
-  };
-  using InsertPool = core::ObjectPool<InsertOp>;
-  using LookupPool = core::ObjectPool<LookupOp>;
+  friend class SimCore<NetSimulator>;
 
-  void issue_insert(SimTime now);
-  void issue_lookup(SimTime now);
-  void on_event(SimTime now, const Message& m);
-  void on_probe(SimTime now, Message m);
-  void on_probe_reply(SimTime now, const Message& m);
-  void on_place(SimTime now, const Message& m);
-  void on_place_ack(SimTime now, const Message& m);
-  void on_lookup(SimTime now, Message m);
-  void on_lookup_reply(SimTime now, const Message& m);
-
-  /// Forward `m` one greedy hop toward `owner` unless it has arrived.
-  /// Returns true when m.at == owner; throws if routing exceeds n hops.
-  bool route_toward(SimTime now, Message& m, std::uint32_t owner);
-  /// Schedule `m` across one link: samples a delay, counts the traversal.
-  void send_link(SimTime now, Message m);
-  /// Zero-delay self-delivery starting an operation at its client.
-  void start_local(SimTime now, Message m);
-
-  [[nodiscard]] std::uint32_t pick_client();
-  void advance_phase(SimTime now);
-
-  const dht::ChordRing* ring_;
-  NetConfig cfg_;
-  std::uint64_t total_inserts_;
-  MessageQueue queue_;
-  rng::DefaultEngine candidates_;
-  rng::DefaultEngine clients_;
-  rng::DefaultEngine latency_;
-  rng::DefaultEngine ties_;
-  std::vector<std::uint32_t> loads_;
-  InsertPool insert_ops_;
-  LookupPool lookup_ops_;
-  std::uint64_t next_insert_ = 0;
-  std::uint64_t next_lookup_ = 0;
-  std::uint64_t done_inserts_ = 0;
-  bool ran_ = false;
-  NetMetrics metrics_;
-  std::vector<TraceEvent> trace_;
+  /// Sequential hop: resolve the next finger-table hop inline and put the
+  /// completed message on the wire.
+  void forward_hop(SimTime now, Message& m, std::uint32_t from) {
+    m.at = ring_->next_hop(from, m.key);
+    send_link(now, m);
+  }
 };
 
 }  // namespace geochoice::net

@@ -1,0 +1,127 @@
+// window_barrier.hpp — a persistent crew of workers for window-stepped
+// algorithms.
+//
+// The conservative parallel simulator (net/parallel_simulator.hpp)
+// alternates short sequential drains with bursts of embarrassingly
+// parallel fill work at each window boundary. A ThreadPool fits badly
+// there: per-window submit() churns through std::function allocations and
+// queue locking for work that lasts microseconds. WindowBarrier instead
+// keeps `workers` long-lived participants — worker 0 is the *calling*
+// thread, so a 1-worker barrier spawns no threads and run() degenerates to
+// a plain call — and wakes the crew once per window with an epoch bump.
+// run(fn) invokes fn(w) for every w in [0, workers) and returns only when
+// all have finished, giving the caller a full happens-before edge in both
+// directions: crew members see every write the caller made before run(),
+// and the caller sees every write the crew made inside fn. Same safety
+// rules as ThreadPool: RAII thread ownership, condvar wakeups, first
+// exception captured and rethrown to the caller after the window drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geochoice::parallel {
+
+class WindowBarrier {
+ public:
+  /// `workers` total participants including the caller (0 = hardware
+  /// concurrency, minimum 1); spawns `workers - 1` threads.
+  explicit WindowBarrier(std::size_t workers = 0) {
+    if (workers == 0) workers = std::thread::hardware_concurrency();
+    workers_ = workers == 0 ? 1 : workers;
+    threads_.reserve(workers_ - 1);
+    for (std::size_t w = 1; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { crew_loop(w); });
+    }
+  }
+
+  ~WindowBarrier() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+      ++epoch_;
+    }
+    window_open_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  WindowBarrier(const WindowBarrier&) = delete;
+  WindowBarrier& operator=(const WindowBarrier&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+
+  /// Execute fn(w) for every w in [0, worker_count()) — fn(0) on the
+  /// calling thread — and block until all are done. If any invocation
+  /// threw, the first captured exception is rethrown here (the window
+  /// still drains fully first). Not reentrant.
+  void run(const std::function<void(std::size_t)>& fn) {
+    if (workers_ == 1) {
+      fn(0);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      pending_ = workers_ - 1;
+      ++epoch_;
+    }
+    window_open_.notify_all();
+    invoke(fn, 0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    window_done_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (first_error_ != nullptr) {
+      const std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void invoke(const std::function<void(std::size_t)>& fn, std::size_t w) {
+    try {
+      fn(w);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+  }
+
+  void crew_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        window_open_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+        if (stopping_) return;
+        seen = epoch_;
+        fn = fn_;
+      }
+      invoke(*fn, w);
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) window_done_.notify_one();
+      }
+    }
+  }
+
+  std::size_t workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable window_open_;
+  std::condition_variable window_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace geochoice::parallel

@@ -17,6 +17,10 @@ NetScenarioResult run_net_scenario(const NetScenarioConfig& cfg) {
       [&cfg](std::uint64_t trial, rng::DefaultEngine& /*unused*/) {
         net::NetConfig c = cfg.net;
         c.trial = trial;
+        if (cfg.workers > 0) {
+          return net::ParallelNetSimulator::simulate(
+              c, {cfg.workers, cfg.shards});
+        }
         return net::NetSimulator::simulate(c);
       },
       cfg.threads);

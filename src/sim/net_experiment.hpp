@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "net/parallel_simulator.hpp"
 #include "net/simulator.hpp"
 #include "stats/histogram.hpp"
 
@@ -22,6 +23,17 @@ struct NetScenarioConfig {
   net::NetConfig net;
   std::uint64_t trials = 20;
   std::size_t threads = 0;  // 0 = hardware concurrency
+  /// In-trial engine parallelism: 0 runs the sequential NetSimulator
+  /// (the default — across-trial threading above already saturates a
+  /// machine when trials >> cores); >= 1 dispatches each trial on a
+  /// ParallelNetSimulator with this worker count. Results are
+  /// bit-identical either way (the engines share one trace), so this is
+  /// purely a wall-clock knob for few-trials/huge-n scenarios. Requires a
+  /// latency model with a positive minimum.
+  std::size_t workers = 0;
+  /// Ring shards for the parallel engine (0 = 4 per worker); ignored when
+  /// workers == 0.
+  std::uint32_t shards = 0;
 };
 
 struct NetScenarioResult {

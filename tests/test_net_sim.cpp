@@ -208,6 +208,30 @@ TEST(NetSim, ScenarioIsThreadCountInvariant) {
   EXPECT_DOUBLE_EQ(a.stale_fraction, b.stale_fraction);
 }
 
+TEST(NetSim, ScenarioIsEngineInvariant) {
+  // workers > 0 swaps each trial onto the ParallelNetSimulator; the
+  // scenario-level aggregates must not move by a single bit.
+  gs::NetScenarioConfig cfg;
+  cfg.net = mixed_config();
+  cfg.net.nodes = 64;
+  cfg.net.keys = 128;
+  cfg.net.lookups = 64;
+  cfg.trials = 4;
+  cfg.threads = 1;
+  const auto a = gs::run_net_scenario(cfg);
+  cfg.workers = 2;
+  cfg.shards = 8;
+  const auto b = gs::run_net_scenario(cfg);
+  EXPECT_TRUE(a.max_load == b.max_load);
+  EXPECT_DOUBLE_EQ(a.mean_lookup_hops, b.mean_lookup_hops);
+  EXPECT_DOUBLE_EQ(a.insert_latency_p99, b.insert_latency_p99);
+  EXPECT_DOUBLE_EQ(a.lookup_latency_p99, b.lookup_latency_p99);
+  EXPECT_DOUBLE_EQ(a.links_per_insert, b.links_per_insert);
+  EXPECT_DOUBLE_EQ(a.stale_fraction, b.stale_fraction);
+  EXPECT_DOUBLE_EQ(a.mean_events, b.mean_events);
+  EXPECT_DOUBLE_EQ(a.mean_end_time, b.mean_end_time);
+}
+
 TEST(NetSim, MessageConservation) {
   const auto cfg = mixed_config();
   const auto m = gn::NetSimulator::simulate(cfg);

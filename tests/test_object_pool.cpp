@@ -150,3 +150,29 @@ TEST(ObjectPool, BoundedRunIsAPrefixOfTheFullRun) {
     EXPECT_TRUE(bounded.trace()[i] == full.trace()[i]) << "event " << i;
   }
 }
+
+TEST(ObjectPool, ForEachVisitsLiveObjectsInSlotOrder) {
+  gc::ObjectPool<int> pool;
+  const auto a = pool.emplace(10);
+  const auto b = pool.emplace(20);
+  const auto c = pool.emplace(30);
+  pool.release(b);  // a hole mid-slab must be skipped, not visited
+  std::vector<int> seen;
+  pool.for_each([&](gc::ObjectPool<int>::Handle h, int& v) {
+    EXPECT_TRUE(pool.alive(h));
+    seen.push_back(v);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{10, 30}));
+  // Recycling the hole (LIFO) restores slot order 10, 40, 30 — the visit
+  // order is the slot order, not the emplace order.
+  const auto d = pool.emplace(40);
+  seen.clear();
+  const auto& cpool = pool;
+  cpool.for_each([&](gc::ObjectPool<int>::Handle, const int& v) {
+    seen.push_back(v);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{10, 40, 30}));
+  pool.release(a);
+  pool.release(c);
+  pool.release(d);
+}

@@ -1,0 +1,190 @@
+// ParallelNetSimulator determinism suite: the conservative parallel
+// engine must be *indistinguishable* from NetSimulator — same golden
+// trace hash, same full event trace, same metrics — at every worker and
+// shard count, because both are the same SimCore logic and parallelism
+// only touches next-hop resolution (parallel_simulator.hpp explains why
+// that is the only safely extractable work).
+//
+// Test names deliberately share the ParallelNetSim prefix: the CI TSan
+// job scopes its run by that name, so every schedule-sensitive assertion
+// here also executes under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/parallel_simulator.hpp"
+#include "net/simulator.hpp"
+#include "parallel/window_barrier.hpp"
+
+namespace gn = geochoice::net;
+namespace gp = geochoice::parallel;
+
+namespace {
+
+/// The golden-trace config from test_net_sim.cpp: mixed insert+lookup
+/// phases, window 8, uniform latency (IEEE-exact arithmetic).
+gn::NetConfig mixed_config() {
+  gn::NetConfig cfg;
+  cfg.nodes = 128;
+  cfg.keys = 512;
+  cfg.choices = 2;
+  cfg.window = 8;
+  cfg.latency = gn::LatencyModel::uniform(0.5, 1.5);
+  cfg.lookups = 256;
+  cfg.seed = 0xdeadbeefcafef00dULL;
+  return cfg;
+}
+
+void expect_same_metrics(const gn::NetMetrics& seq, const gn::NetMetrics& par,
+                         const std::string& label) {
+  EXPECT_EQ(par.trace_hash, seq.trace_hash) << label;
+  EXPECT_EQ(par.events, seq.events) << label;
+  EXPECT_EQ(par.links, seq.links) << label;
+  EXPECT_EQ(par.links_by_type, seq.links_by_type) << label;
+  EXPECT_EQ(par.probe_hops, seq.probe_hops) << label;
+  EXPECT_EQ(par.stale_reads, seq.stale_reads) << label;
+  EXPECT_EQ(par.inserts, seq.inserts) << label;
+  EXPECT_EQ(par.lookups, seq.lookups) << label;
+  EXPECT_EQ(par.max_load, seq.max_load) << label;
+  EXPECT_EQ(par.loads, seq.loads) << label;
+  EXPECT_DOUBLE_EQ(par.end_time, seq.end_time) << label;
+  EXPECT_DOUBLE_EQ(par.insert_latency.mean(), seq.insert_latency.mean())
+      << label;
+  EXPECT_DOUBLE_EQ(par.lookup_latency_q.value(2), seq.lookup_latency_q.value(2))
+      << label;
+}
+
+}  // namespace
+
+TEST(ParallelNetSim, TraceBitIdenticalAcrossWorkersAndShards) {
+  auto cfg = mixed_config();
+  cfg.collect_trace = true;
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  gn::NetSimulator seq(ring, cfg);
+  const auto seq_metrics = seq.run();
+  ASSERT_FALSE(seq.trace().empty());
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    for (const std::uint32_t shards : {1u, 4u, 16u}) {
+      const std::string label = "workers=" + std::to_string(workers) +
+                                " shards=" + std::to_string(shards);
+      gn::ParallelNetSimulator par(ring, cfg, {workers, shards});
+      const auto par_metrics = par.run();
+      expect_same_metrics(seq_metrics, par_metrics, label);
+      EXPECT_TRUE(par.trace() == seq.trace()) << label;
+    }
+  }
+}
+
+TEST(ParallelNetSim, GoldenTraceHashMatchesSequentialPin) {
+  // The exact pin NetSim.GoldenTraceHash holds the sequential engine to:
+  // the parallel engine meets the same number, proving it replays the
+  // identical event sequence, not merely an equivalent one.
+  const auto m = gn::ParallelNetSimulator::simulate(mixed_config(), {4, 16});
+  EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
+}
+
+TEST(ParallelNetSim, ShardStarvedCrewStillExact) {
+  // More workers than occupied shards: most of the crew has no fill work
+  // in any window. Exercises the idle-worker path of the barrier.
+  auto cfg = mixed_config();
+  cfg.nodes = 64;
+  cfg.keys = 256;
+  cfg.lookups = 64;
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  const auto seq = gn::NetSimulator(ring, cfg).run();
+  gn::ParallelNetSimulator par(ring, cfg, {8, 2});
+  EXPECT_EQ(par.worker_count(), 8u);
+  EXPECT_EQ(par.shard_count(), 2u);
+  expect_same_metrics(seq, par.run(), "workers=8 shards=2");
+}
+
+TEST(ParallelNetSim, MaxEventsStopsOnTheSamePrefix) {
+  // Bounded runs must cut the identical executed prefix: the parallel
+  // drain order *is* the sequential (time, seq) order, windows included.
+  auto cfg = mixed_config();
+  cfg.max_events = 777;
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  const auto seq = gn::NetSimulator(ring, cfg).run();
+  ASSERT_EQ(seq.events, 777u);
+  gn::ParallelNetSimulator par(ring, cfg, {4, 8});
+  expect_same_metrics(seq, par.run(), "max_events=777");
+}
+
+TEST(ParallelNetSim, LognormalFloorProvidesTheLookahead) {
+  // The lognormal model's configurable floor is what keeps the lookahead
+  // positive; the engine must accept it and still match sequentially.
+  auto cfg = mixed_config();
+  cfg.keys = 128;
+  cfg.lookups = 32;
+  cfg.latency = gn::LatencyModel::lognormal(0.0, 0.5, 0.25);
+  ASSERT_DOUBLE_EQ(cfg.latency.min(), 0.25);
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  const auto seq = gn::NetSimulator(ring, cfg).run();
+  gn::ParallelNetSimulator par(ring, cfg, {4, 4});
+  expect_same_metrics(seq, par.run(), "lognormal floor");
+}
+
+TEST(ParallelNetSim, RejectsZeroLookahead) {
+  auto cfg = mixed_config();
+  cfg.latency = gn::LatencyModel::zero();
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  EXPECT_THROW(gn::ParallelNetSimulator(ring, cfg, {2, 4}),
+               std::invalid_argument);
+}
+
+TEST(ParallelNetSim, RunIsSingleShot) {
+  const auto cfg = mixed_config();
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  gn::ParallelNetSimulator sim(ring, cfg, {2, 4});
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(ParallelNetSim, ShardCountClampsToRingSize) {
+  auto cfg = mixed_config();
+  cfg.nodes = 8;
+  cfg.keys = 16;
+  cfg.lookups = 0;
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  gn::ParallelNetSimulator par(ring, cfg, {2, 1024});
+  EXPECT_EQ(par.shard_count(), 8u);
+  expect_same_metrics(gn::NetSimulator(ring, cfg).run(), par.run(),
+                      "shards clamped");
+}
+
+TEST(ParallelNetSim, WindowBarrierRunsEveryWorkerEachWindow) {
+  gp::WindowBarrier crew(4);
+  ASSERT_EQ(crew.worker_count(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  for (int window = 1; window <= 100; ++window) {
+    crew.run([&](std::size_t w) { ++hits[w]; });
+    // run() returning is the barrier: every worker's write is visible.
+    for (const auto& h : hits) ASSERT_EQ(h.load(), window);
+  }
+}
+
+TEST(ParallelNetSim, WindowBarrierSingleWorkerSpawnsNoThreads) {
+  gp::WindowBarrier solo(1);
+  EXPECT_EQ(solo.worker_count(), 1u);
+  int calls = 0;
+  solo.run([&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelNetSim, WindowBarrierPropagatesFirstException) {
+  gp::WindowBarrier crew(3);
+  EXPECT_THROW(crew.run([](std::size_t w) {
+                 if (w == 1) throw std::runtime_error("window failed");
+               }),
+               std::runtime_error);
+  // The crew survives a throwing window: the next one still runs fully.
+  std::atomic<int> ok{0};
+  crew.run([&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 3);
+}
