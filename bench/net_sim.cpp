@@ -5,9 +5,15 @@
 // insert windows, and the max keys-per-node distribution — the questions
 // a deployed DHT cares about that the structural engines cannot answer.
 //
+// This binary is a thin shim over the unified front door: it builds a
+// wire-model sim::Scenario (model=wire, space=chord) and calls sim::run.
+// The same experiment is reachable from any scenario-aware binary via
+// --model=wire; net_sim only keeps the historical defaults, the --keys
+// alias for --m, the net-flavored report/CSV, and the sweep grid.
+//
 // Flags (defaults in brackets):
 //   --n=1024          ring nodes
-//   --keys=0          inserts (0 means keys = n)
+//   --keys=0          inserts (0 means keys = n; --m is an alias)
 //   --d=2             candidate positions per key
 //   --window=8        operations in flight (1 = serialized, no staleness)
 //   --latency=uniform constant | uniform | lognormal
@@ -22,6 +28,8 @@
 //                     barrier workers per trial (bit-identical results;
 //                     needs a latency model with a positive minimum)
 //   --shards=0        ring shards for the parallel engine (0 = 4/worker)
+//   --transport=sim   sim | udp (udp runs every trial on a real loopback
+//                     UDP cluster; latency/workers/shards do not apply)
 //   --csv=PATH        also append one metrics row per run to PATH
 //
 // Sweep mode (the ROADMAP stale-information study, self-contained):
@@ -42,13 +50,14 @@
 #include "sim/cli.hpp"
 #include "sim/csv.hpp"
 #include "sim/net_experiment.hpp"
+#include "sim/scenario.hpp"
 
 namespace gn = geochoice::net;
 namespace gm = geochoice::sim;
 
 namespace {
 
-int run_sweep(gm::NetScenarioConfig cfg, std::uint64_t max_window,
+int run_sweep(gm::Scenario sc, std::uint64_t max_window,
               const std::string& csv_path) {
   const std::vector<gn::LatencyModel> models = {
       gn::LatencyModel::constant(1.0),
@@ -62,12 +71,13 @@ int run_sweep(gm::NetScenarioConfig cfg, std::uint64_t max_window,
     // 64-bit loop variable: doubling cannot wrap below any representable
     // --sweep-max-window, so the loop always terminates.
     for (std::uint64_t w = 1; w <= max_window; w *= 2) {
-      cfg.net.latency = model;
-      cfg.net.window = static_cast<std::uint32_t>(w);
-      const auto r = gm::run_net_scenario(cfg);
-      csv.row(gm::net_csv_row(cfg, r));
+      sc.latency = model;
+      sc.window = static_cast<std::uint32_t>(w);
+      const auto report = gm::run(sc);
+      const auto r = gm::net_scenario_result(report);
+      csv.row(gm::net_csv_row(gm::net_scenario_config(sc), r));
       std::printf("%-10s %8u %14.3f %14.4f %14.2f\n",
-                  std::string(gn::to_string(model.kind)).c_str(), w,
+                  std::string(gn::to_string(model.kind)).c_str(), sc.window,
                   r.max_load.mean(), r.stale_fraction, r.insert_latency_p99);
       std::fflush(stdout);
     }
@@ -82,20 +92,11 @@ int run_sweep(gm::NetScenarioConfig cfg, std::uint64_t max_window,
 int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
   const bool sweep = args.has("sweep");
-  gm::NetScenarioConfig cfg;
-  cfg.net.nodes = args.get_u64("n", 1u << 10);
-  cfg.net.keys = args.get_u64("keys", 0);
-  cfg.net.choices = static_cast<int>(args.get_u64("d", 2));
-  cfg.net.lookups = args.get_u64("lookups", 4096);
-  cfg.net.seed = args.get_u64("seed", cfg.net.seed);
-  cfg.trials = args.get_u64("trials", 20);
-  cfg.threads = args.get_u64("threads", 0);
-  cfg.workers = args.get_u64("workers", 0);
-  cfg.shards = static_cast<std::uint32_t>(args.get_u64("shards", 0));
+
   std::uint64_t max_window = 256;
   std::string csv_path;
   if (sweep) {
-    // Windows beyond u32 are nonsense (NetConfig::window is 32-bit); clamp
+    // Windows beyond u32 are nonsense (the window field is 32-bit); clamp
     // rather than truncate so absurd inputs stay finite, not wrapped.
     max_window = std::min<std::uint64_t>(args.get_u64("sweep-max-window", 256),
                                          0xffffffffull);
@@ -108,27 +109,50 @@ int main(int argc, char** argv) {
       }
     }
   } else {
-    cfg.net.window = static_cast<std::uint32_t>(args.get_u64("window", 8));
-    cfg.net.latency.kind =
-        gn::latency_kind_from_string(args.get_string("latency", "uniform"));
-    cfg.net.latency.a = args.get_double("lat-a", 0.5);
-    cfg.net.latency.b = args.get_double("lat-b", 1.5);
     csv_path = args.get_string("csv", "");
+  }
+
+  // The historical net_sim defaults, expressed as a wire-model Scenario.
+  gm::Scenario defaults;
+  defaults.model = gm::ExecModel::kWire;
+  defaults.space = gm::SpaceKind::kChordNet;
+  defaults.num_servers = 1u << 10;
+  defaults.num_balls = 0;  // keys = n
+  defaults.trials = 20;
+  defaults.seed = 0x6e657473696d2121ULL;  // "netsim!!"
+  defaults.window = 8;
+  defaults.latency = gn::LatencyModel::uniform(0.5, 1.5);
+  defaults.lookups = 4096;
+
+  gm::Scenario sc;
+  try {
+    sc = gm::scenario_from_args(args, defaults);
+    sc.num_balls = args.get_u64("keys", sc.num_balls);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_sim: %s\n", e.what());
+    return 2;
   }
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
     return 2;
   }
-  cfg.net.latency.validate();
 
-  if (sweep) return run_sweep(cfg, max_window, csv_path);
+  try {
+    if (sweep) return run_sweep(sc, max_window, csv_path);
 
-  const auto result = gm::run_net_scenario(cfg);
-  std::fputs(gm::render_net_summary(cfg, result).c_str(), stdout);
+    const auto report = gm::run(sc);
+    const auto result = gm::net_scenario_result(report);
+    std::fputs(
+        gm::render_net_summary(gm::net_scenario_config(sc), result).c_str(),
+        stdout);
 
-  if (!csv_path.empty()) {
-    gm::CsvWriter csv(csv_path, gm::net_csv_header());
-    csv.row(gm::net_csv_row(cfg, result));
+    if (!csv_path.empty()) {
+      gm::CsvWriter csv(csv_path, gm::net_csv_header());
+      csv.row(gm::net_csv_row(gm::net_scenario_config(sc), result));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_sim: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

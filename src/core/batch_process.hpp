@@ -32,6 +32,7 @@
 
 #include "core/placement.hpp"
 #include "core/process.hpp"
+#include "core/slab_pool.hpp"
 #include "parallel/trial_runner.hpp"
 #include "rng/block_sampler.hpp"
 #include "spaces/ring_space.hpp"
@@ -170,9 +171,14 @@ template <spaces::GeometricSpace S>
 
 /// Monte-Carlo sweep over the batched engine: `trials` independent runs
 /// with engines derived exactly as parallel::run_trials derives them, so
-/// results are bit-identical for any thread count. Worker blocks share one
-/// BatchScratch, so a sweep performs O(workers) — not O(trials) — buffer
-/// allocations.
+/// results are bit-identical for any thread count. Worker blocks lease
+/// their BatchScratch from a SlabPool, so buffer allocations are bounded
+/// by the number of *concurrently running* blocks (<= workers), not the
+/// block count, and a finished block's warmed-up buffers are reused by
+/// the next block that acquires them. Scratch contents never influence
+/// results (each block resizes before writing), so the recycling cannot
+/// perturb the bit-identical-to-run_process guarantee the differential
+/// tests pin.
 template <spaces::GeometricSpace S>
 [[nodiscard]] std::vector<ProcessResult> run_batch_trials(
     const S& space, const ProcessOptions& opt, std::uint64_t trials,
@@ -180,12 +186,14 @@ template <spaces::GeometricSpace S>
     const BatchOptions& batch = {}) {
   std::vector<ProcessResult> results(trials);
   parallel::ThreadPool pool(threads);
+  SlabPool<BatchScratch<typename S::Location>> scratch_pool;
   parallel::parallel_for_blocks(
       pool, 0, trials, [&](std::size_t lo, std::size_t hi) {
-        BatchScratch<typename S::Location> scratch;
+        const auto scratch = scratch_pool.acquire();
         for (std::size_t t = lo; t < hi; ++t) {
           auto engine = rng::make_trial_engine(master_seed, t);
-          results[t] = run_batch_process(space, opt, engine, batch, &scratch);
+          results[t] = run_batch_process(space, opt, engine, batch,
+                                         scratch.get());
         }
       });
   return results;

@@ -1,0 +1,113 @@
+// slab_pool.hpp — a thread-safe pool of reusable heap slabs.
+//
+// ObjectPool (object_pool.hpp) recycles many small objects inside one
+// owner on one thread; its slot vector may reallocate, so references
+// don't survive the next emplace. SlabPool solves the complementary
+// problem: a few large scratch objects (batch-engine block buffers)
+// shared across worker threads, where the borrower needs a stable
+// reference for the whole borrow. Slabs live behind unique_ptrs, so a
+// leased slab never moves; acquire() pops a free slab or makes one, and
+// the RAII Lease returns it on destruction. Capacity the slab grew
+// (vector buffers, etc.) survives the round trip — that is the point:
+// a sweep's blocks keep refilling the same few warmed-up slabs instead
+// of allocating per block.
+//
+// The lock guards only the free-list push/pop — two pointer moves — so
+// contention is negligible next to the work a borrower does per lease.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace geochoice::core {
+
+template <typename T>
+class SlabPool {
+ public:
+  /// Exclusive borrow of one slab; returns it to the pool on destruction.
+  class Lease {
+   public:
+    Lease(SlabPool* pool, std::unique_ptr<T> slab) noexcept
+        : pool_(pool), slab_(std::move(slab)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          slab_(std::move(other.slab_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        slab_ = std::move(other.slab_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] T& operator*() const noexcept { return *slab_; }
+    [[nodiscard]] T* operator->() const noexcept { return slab_.get(); }
+    [[nodiscard]] T* get() const noexcept { return slab_.get(); }
+
+   private:
+    void release() noexcept {
+      if (pool_ != nullptr && slab_ != nullptr) {
+        pool_->put_back(std::move(slab_));
+      }
+      pool_ = nullptr;
+    }
+
+    SlabPool* pool_;
+    std::unique_ptr<T> slab_;
+  };
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Borrow a slab: a recycled one when available, a fresh default-
+  /// constructed one otherwise. The pool must outlive every Lease.
+  [[nodiscard]] Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        auto slab = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(slab));
+      }
+    }
+    // Construction happens outside the lock; only the counter needs it.
+    auto slab = std::make_unique<T>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++created_;
+    }
+    return Lease(this, std::move(slab));
+  }
+
+  /// Slabs ever constructed — the allocation high-water mark; equals the
+  /// peak number of concurrent leases.
+  [[nodiscard]] std::size_t created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+  /// Slabs currently parked in the free list.
+  [[nodiscard]] std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  void put_back(std::unique_ptr<T> slab) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(slab));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace geochoice::core

@@ -1,0 +1,485 @@
+// node.hpp — one node's protocol logic, written against the Transport
+// seam.
+//
+// SimCore (sim_core.hpp) is "every node in one process": global load
+// array, global RNG streams, a drive loop that owns time. This file is
+// the other world — the logic one *real* process runs, split along the
+// protocol's natural client/server line:
+//
+//   * NodeLogic: the server half. Routes probes/lookups one Chord hop
+//     (the same ring.next_hop the simulators call), answers the ones it
+//     owns, applies placements. It is deliberately state-light: probes
+//     read the load, placements bump it, and the only memory beyond the
+//     counter is the at-most-once dedup set that makes client
+//     retransmits safe.
+//   * ClientDriver: the client half. Issues the two-choice insertion
+//     workload (and measurement lookups), collects replies, picks
+//     candidates with protocol::pick_best_candidate — the *same kernel*
+//     the simulator runs, fed from the same kBallChoices substream —
+//     and arms retransmit timers because real datagrams get lost.
+//
+// Determinism contract with the simulator (the differential oracle):
+// with window = 1 and a deterministic tie-break, a placement depends
+// only on the candidate-key stream and the serial load evolution —
+// never on message timing, routing paths, or client identity. Both
+// worlds draw candidates from make_stream(seed, trial, kBallChoices)
+// and build the same ring, so the cluster's placement sequence must be
+// bit-identical to NetSimulator's — duplicated, delayed, or reordered
+// datagrams included. That claim is what tests/test_udp_cluster.cpp
+// checks.
+//
+// Both halves are templates over the transport so the logic itself
+// cannot know which world it is in; UdpTransport is the one real
+// instantiation today.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/object_pool.hpp"
+#include "core/tie_breaking.hpp"
+#include "dht/chord.hpp"
+#include "net/message.hpp"
+#include "net/protocol.hpp"
+#include "net/sim_core.hpp"
+#include "rng/streams.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace geochoice::net {
+
+/// The server half: route or serve. One instance per node process (plus
+/// one co-located with the driver for node 0).
+template <typename Transport>
+class NodeLogic {
+ public:
+  /// `ring` must have finger tables built; every process derives the
+  /// identical ring from the shared (seed, trial).
+  NodeLogic(const dht::ChordRing& ring, std::uint32_t self,
+            Transport& transport)
+      : ring_(&ring), self_(self), transport_(&transport) {}
+
+  /// Handle one request datagram (kProbe / kPlace / kLookup). Reply
+  /// types are the client's business — route them to a ClientDriver.
+  void on_message(const Message& msg) {
+    switch (msg.type) {
+      case MsgType::kProbe: {
+        Message m = msg;
+        if (!route(m)) return;
+        transport_->send(protocol::make_probe_reply(m, load_));
+        return;
+      }
+      case MsgType::kPlace:
+        on_place(msg);
+        return;
+      case MsgType::kLookup: {
+        Message m = msg;
+        if (!route(m)) return;
+        transport_->send(protocol::make_lookup_reply(m));
+        return;
+      }
+      default:
+        break;  // replies and acks: not ours
+    }
+  }
+
+  [[nodiscard]] std::uint32_t load() const noexcept { return load_; }
+  [[nodiscard]] std::uint64_t stale_reads() const noexcept { return stale_; }
+
+ private:
+  /// Forward one greedy Chord hop unless the message has arrived
+  /// (m.dest == self). The hop-count guard mirrors SimCore::route_toward:
+  /// a routing cycle must fail loudly, not ricochet datagrams forever.
+  bool route(Message& m) {
+    if (m.dest == self_) return true;
+    if (m.hops >= ring_->node_count()) {
+      throw std::logic_error("NodeLogic: routing exceeded n hops (cycle?)");
+    }
+    m.from = self_;
+    ++m.hops;
+    m.at = ring_->next_hop(self_, m.key);
+    transport_->send(m);
+    return false;
+  }
+
+  void on_place(const Message& m) {
+    // At-most-once: a retransmitted kPlace (its ack was lost) must not
+    // count the key twice — resend the ack and change nothing.
+    const std::uint64_t key = op_key(m.client, m.op);
+    if (placed_.contains(key)) {
+      transport_->send(protocol::make_place_ack(m));
+      return;
+    }
+    placed_.insert(key);
+    placed_fifo_.push_back(key);
+    // Bound the dedup memory: anything old enough to be evicted is long
+    // past its client's retransmit horizon.
+    while (placed_fifo_.size() > kPlacedMemory) {
+      placed_.erase(placed_fifo_.front());
+      placed_fifo_.pop_front();
+    }
+    if (load_ != m.load) ++stale_;
+    ++load_;
+    transport_->send(protocol::make_place_ack(m));
+  }
+
+  [[nodiscard]] static std::uint64_t op_key(std::uint32_t client,
+                                            std::uint64_t op) noexcept {
+    // op is a per-client sequence number; 2^40 ops per client is far past
+    // any run this serves.
+    return (static_cast<std::uint64_t>(client) << 40) ^ op;
+  }
+
+  static constexpr std::size_t kPlacedMemory = 4096;
+
+  const dht::ChordRing* ring_;
+  std::uint32_t self_;
+  Transport* transport_;
+  std::uint32_t load_ = 0;
+  std::uint64_t stale_ = 0;
+  std::unordered_set<std::uint64_t> placed_;
+  std::deque<std::uint64_t> placed_fifo_;
+};
+
+/// What a finished cluster run hands back — the same quantities
+/// NetMetrics reports, measured on the wire.
+struct DriverReport {
+  /// Owner node of insert op i — the differential-test surface.
+  std::vector<std::uint32_t> placements;
+  /// Final load per node, read back by census probes after the workload.
+  std::vector<std::uint32_t> loads;
+  std::uint32_t max_load = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t retransmits = 0;
+  stats::RunningStats insert_latency_us;
+  stats::RunningStats lookup_latency_us;
+  stats::P2QuantileSet insert_latency_us_q{{0.5, 0.9, 0.99}};
+  stats::P2QuantileSet lookup_latency_us_q{{0.5, 0.9, 0.99}};
+};
+
+struct DriverConfig {
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  int choices = 2;
+  std::uint32_t window = 1;
+  core::TieBreak tie = core::TieBreak::kFirstChoice;
+  std::uint64_t seed = 0;
+  std::uint64_t trial = 0;
+  /// Retransmit alarm per in-flight op phase. Loopback never needs it;
+  /// it exists so a dropped datagram stalls an op for milliseconds, not
+  /// forever.
+  std::uint64_t retransmit_ms = 50;
+};
+
+/// The client half: drives the workload, then reads every node's final
+/// load back with census probes. Pump the owning transport and feed
+/// replies to on_reply / fired timers to on_timer until done().
+template <typename Transport>
+class ClientDriver {
+ public:
+  ClientDriver(const dht::ChordRing& ring, const DriverConfig& cfg,
+               Transport& transport)
+      : ring_(&ring),
+        cfg_(cfg),
+        transport_(&transport),
+        candidates_(rng::make_stream(cfg.seed, cfg.trial,
+                                     rng::StreamPurpose::kBallChoices)),
+        ties_(rng::make_stream(cfg.seed, cfg.trial,
+                               rng::StreamPurpose::kTieBreaking)) {
+    if (cfg.choices < 1 || cfg.choices > kMaxChoices) {
+      throw std::invalid_argument("ClientDriver: choices must be in [1, " +
+                                  std::to_string(kMaxChoices) + "]");
+    }
+    if (cfg.window < 1) {
+      throw std::invalid_argument("ClientDriver: window must be >= 1");
+    }
+    if (core::needs_region_measure(cfg.tie)) {
+      throw std::invalid_argument(
+          "ClientDriver: region-measure tie-breaks need arc sizes the wire "
+          "does not carry");
+    }
+    report_.placements.assign(cfg.inserts, 0);
+    insert_ops_.reserve(cfg.window);
+    lookup_ops_.reserve(cfg.window);
+  }
+
+  /// Issue the first window. Call once, then pump the transport.
+  void start() { advance(); }
+
+  [[nodiscard]] bool done() const noexcept {
+    return census_got_ == ring_->node_count();
+  }
+
+  /// The finished run's report; meaningful once done().
+  [[nodiscard]] const DriverReport& report() const noexcept { return report_; }
+
+  /// Handle one reply datagram (kProbeReply / kPlaceAck / kLookupReply).
+  /// Duplicates — a retransmitted request whose first answer also made it
+  /// — are detected and dropped at every step; real networks deliver
+  /// twice.
+  void on_reply(const Message& m) {
+    switch (m.type) {
+      case MsgType::kProbeReply:
+        if (m.probe == protocol::kCensusProbe) {
+          on_census_reply(m);
+        } else {
+          on_probe_reply(m);
+        }
+        return;
+      case MsgType::kPlaceAck:
+        on_place_ack(m);
+        return;
+      case MsgType::kLookupReply:
+        on_lookup_reply(m);
+        return;
+      default:
+        return;  // a request echoed back is noise, not ours to serve
+    }
+  }
+
+  /// A retransmit alarm fired: resend whatever the op is still waiting
+  /// for. The timer payload carries the op's packed pool handle.
+  void on_timer(const Message& t) {
+    switch (t.type) {
+      case MsgType::kProbe: {
+        InsertOp* op = insert_ops_.try_get(InsertPool::Handle::unpack(t.slot));
+        if (op == nullptr || op->op != t.op) return;  // op completed: stale
+        resend_insert(*op, t.slot);
+        op->timer = transport_->schedule(cfg_.retransmit_ms, t);
+        return;
+      }
+      case MsgType::kLookup: {
+        LookupOp* op = lookup_ops_.try_get(LookupPool::Handle::unpack(t.slot));
+        if (op == nullptr || op->op != t.op) return;
+        ++report_.retransmits;
+        transport_->send(protocol::make_lookup(self(), op->op, op->key,
+                                               ring_->successor(op->key),
+                                               t.slot));
+        op->timer = transport_->schedule(cfg_.retransmit_ms, t);
+        return;
+      }
+      case MsgType::kProbeReply:  // the census alarm
+        if (census_got_ < ring_->node_count() &&
+            census_next_ > census_got_) {
+          ++report_.retransmits;
+          send_census(census_got_);
+          arm_census_timer();
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kProbing, kPlacing };
+
+  struct InsertOp {
+    std::uint64_t start_us = 0;
+    std::uint64_t op = 0;
+    std::array<double, kMaxChoices> key{};
+    std::array<std::uint32_t, kMaxChoices> owner{};
+    std::array<std::uint32_t, kMaxChoices> load{};
+    std::uint32_t replied = 0;  // bitmask over probe indices
+    int replies = 0;
+    Phase phase = Phase::kProbing;
+    int best = 0;
+    typename Transport::Timer timer{};
+  };
+  struct LookupOp {
+    std::uint64_t start_us = 0;
+    std::uint64_t op = 0;
+    double key = 0.0;
+    typename Transport::Timer timer{};
+  };
+  using InsertPool = core::ObjectPool<InsertOp>;
+  using LookupPool = core::ObjectPool<LookupOp>;
+
+  [[nodiscard]] std::uint32_t self() const noexcept {
+    return transport_->self();
+  }
+
+  void advance() {
+    while (insert_ops_.live() < cfg_.window && next_insert_ < cfg_.inserts) {
+      issue_insert();
+    }
+    if (report_.inserts == cfg_.inserts) {
+      while (lookup_ops_.live() < cfg_.window &&
+             next_lookup_ < cfg_.lookups) {
+        issue_lookup();
+      }
+      // Workload drained: read the final loads back. One census probe in
+      // flight at a time keeps this trivially at-most-once.
+      if (report_.lookups == cfg_.lookups &&
+          census_next_ == census_got_ &&
+          census_next_ < ring_->node_count()) {
+        send_census(census_next_++);
+        arm_census_timer();
+      }
+    }
+  }
+
+  void issue_insert() {
+    const std::uint64_t op_id = next_insert_++;
+    InsertOp rec;
+    rec.start_us = transport_->now_us();
+    rec.op = op_id;
+    // The one stream both worlds share: candidate keys drawn at issue
+    // time, in operation order.
+    for (int j = 0; j < cfg_.choices; ++j) {
+      rec.key[static_cast<std::size_t>(j)] = rng::uniform01(candidates_);
+    }
+    const auto handle = insert_ops_.emplace(rec);
+    InsertOp& live = insert_ops_.get(handle);
+    const std::uint64_t slot = handle.pack();
+    for (int j = 0; j < cfg_.choices; ++j) {
+      const double key = live.key[static_cast<std::size_t>(j)];
+      transport_->send(protocol::make_probe(self(), op_id,
+                                            static_cast<std::uint8_t>(j), key,
+                                            ring_->successor(key), slot));
+    }
+    Message alarm;
+    alarm.type = MsgType::kProbe;
+    alarm.op = op_id;
+    alarm.slot = slot;
+    live.timer = transport_->schedule(cfg_.retransmit_ms, alarm);
+  }
+
+  void issue_lookup() {
+    const std::uint64_t op_id = next_lookup_++;
+    LookupOp rec;
+    rec.start_us = transport_->now_us();
+    rec.op = op_id;
+    rec.key = rng::uniform01(candidates_);
+    const auto handle = lookup_ops_.emplace(rec);
+    const std::uint64_t slot = handle.pack();
+    transport_->send(protocol::make_lookup(self(), op_id, rec.key,
+                                           ring_->successor(rec.key), slot));
+    Message alarm;
+    alarm.type = MsgType::kLookup;
+    alarm.op = op_id;
+    alarm.slot = slot;
+    lookup_ops_.get(handle).timer = transport_->schedule(cfg_.retransmit_ms,
+                                                         alarm);
+  }
+
+  void resend_insert(const InsertOp& op, std::uint64_t slot) {
+    ++report_.retransmits;
+    if (op.phase == Phase::kProbing) {
+      for (int j = 0; j < cfg_.choices; ++j) {
+        if (op.replied & (1u << j)) continue;  // that reply already landed
+        const double key = op.key[static_cast<std::size_t>(j)];
+        transport_->send(protocol::make_probe(self(), op.op,
+                                              static_cast<std::uint8_t>(j),
+                                              key, ring_->successor(key),
+                                              slot));
+      }
+    } else {
+      const auto bs = static_cast<std::size_t>(op.best);
+      transport_->send(protocol::make_place(
+          self(), op.op, static_cast<std::uint8_t>(op.best), op.owner[bs],
+          op.load[bs], slot));
+    }
+  }
+
+  void on_probe_reply(const Message& m) {
+    InsertOp* op = insert_ops_.try_get(InsertPool::Handle::unpack(m.slot));
+    if (op == nullptr || op->op != m.op) return;       // op already done
+    if (op->phase != Phase::kProbing) return;          // late straggler
+    if (m.probe >= kMaxChoices) return;                // corrupt index
+    const std::uint32_t bit = 1u << m.probe;
+    if (op->replied & bit) return;                     // duplicate reply
+    op->replied |= bit;
+    op->owner[m.probe] = m.from;
+    op->load[m.probe] = m.load;
+    if (++op->replies < cfg_.choices) return;
+
+    // All d replies in: the same selection kernel the simulator runs.
+    op->best = protocol::pick_best_candidate(op->owner.data(), op->load.data(),
+                                             cfg_.choices, cfg_.tie, ties_);
+    op->phase = Phase::kPlacing;
+    const auto bs = static_cast<std::size_t>(op->best);
+    report_.placements[op->op] = op->owner[bs];
+    transport_->send(protocol::make_place(m.client, m.op,
+                                          static_cast<std::uint8_t>(op->best),
+                                          op->owner[bs], op->load[bs],
+                                          m.slot));
+  }
+
+  void on_place_ack(const Message& m) {
+    const auto h = InsertPool::Handle::unpack(m.slot);
+    InsertOp* op = insert_ops_.try_get(h);
+    if (op == nullptr || op->op != m.op) return;  // duplicate ack
+    if (op->phase != Phase::kPlacing) return;     // ack without a place?
+    if (transport_->armed(op->timer)) transport_->cancel(op->timer);
+    const double us = static_cast<double>(transport_->now_us() - op->start_us);
+    report_.insert_latency_us.add(us);
+    report_.insert_latency_us_q.add(us);
+    insert_ops_.release(h);
+    ++report_.inserts;
+    advance();
+  }
+
+  void on_lookup_reply(const Message& m) {
+    const auto h = LookupPool::Handle::unpack(m.slot);
+    LookupOp* op = lookup_ops_.try_get(h);
+    if (op == nullptr || op->op != m.op) return;  // duplicate reply
+    if (transport_->armed(op->timer)) transport_->cancel(op->timer);
+    const double us = static_cast<double>(transport_->now_us() - op->start_us);
+    report_.lookup_latency_us.add(us);
+    report_.lookup_latency_us_q.add(us);
+    lookup_ops_.release(h);
+    ++report_.lookups;
+    advance();
+  }
+
+  void send_census(std::uint32_t node) {
+    // successor(node_id(i)) == i: a probe keyed at the node's own ring
+    // position lands exactly there. Probes mutate nothing server-side, so
+    // census retransmits need no dedup.
+    transport_->send(protocol::make_probe(self(), node, protocol::kCensusProbe,
+                                          ring_->node_id(node), node, 0));
+  }
+
+  void arm_census_timer() {
+    Message alarm;
+    alarm.type = MsgType::kProbeReply;
+    census_timer_ = transport_->schedule(cfg_.retransmit_ms, alarm);
+    census_timer_armed_ = true;
+  }
+
+  void on_census_reply(const Message& m) {
+    if (m.op != census_got_) return;  // duplicate or out-of-order census
+    if (census_timer_armed_ && transport_->armed(census_timer_)) {
+      transport_->cancel(census_timer_);
+    }
+    census_timer_armed_ = false;
+    report_.loads.push_back(m.load);
+    if (m.load > report_.max_load) report_.max_load = m.load;
+    ++census_got_;
+    advance();
+  }
+
+  const dht::ChordRing* ring_;
+  DriverConfig cfg_;
+  Transport* transport_;
+  rng::DefaultEngine candidates_;
+  rng::DefaultEngine ties_;
+  InsertPool insert_ops_;
+  LookupPool lookup_ops_;
+  std::uint64_t next_insert_ = 0;
+  std::uint64_t next_lookup_ = 0;
+  std::uint32_t census_next_ = 0;
+  std::uint32_t census_got_ = 0;
+  typename Transport::Timer census_timer_{};
+  bool census_timer_armed_ = false;
+  DriverReport report_;
+};
+
+}  // namespace geochoice::net

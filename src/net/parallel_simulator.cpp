@@ -44,7 +44,7 @@ void ParallelNetSimulator::finish_window() {
     const std::uint32_t hi = parallel::shard_begin(w + 1, shards_, workers);
     for (std::uint32_t s = lo; s < hi; ++s) {
       for (const FillTask& task : mailboxes_[s]) {
-        Message& m = queue_.payload(task.ticket);
+        Message& m = queue().payload(task.ticket);
         m.at = ring_->next_hop(task.from, m.key);
       }
     }
@@ -62,9 +62,9 @@ NetMetrics ParallelNetSimulator::run() {
   // t + delay >= t + lookahead >= window end, so its fill always lands
   // before the pop that needs it.
   MessageQueue::Event e;
-  while (!queue_.empty() && budget_left()) {
-    const SimTime bound = queue_.min_time() + lookahead_;
-    while (budget_left() && queue_.pop_before(bound, e)) {
+  while (!queue().empty() && budget_left()) {
+    const SimTime bound = queue().min_time() + lookahead_;
+    while (budget_left() && queue().pop_before(bound, e)) {
       execute(e);
     }
     finish_window();

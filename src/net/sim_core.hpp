@@ -10,6 +10,15 @@
 // routed message must advance one Chord hop, after the hop counter and
 // sender field are updated but before the next-hop node is resolved.
 //
+// All message motion goes through the net::Transport seam
+// (transport.hpp): the handlers call SimTransport::send / deliver_local
+// and never touch the event queue directly — the queue is the drive
+// loops' surface. The protocol decisions themselves (reply construction,
+// candidate selection) live in protocol.hpp, the kernels a real node
+// (node.hpp, served over UdpTransport) executes too; SimCore is "every
+// node in one process" — global per-purpose RNG streams, one load array —
+// which is what makes its trace a pure function of (seed, config).
+//
 //   * NetSimulator resolves the finger-table next_hop inline and sends —
 //     the classic sequential step.
 //   * ParallelNetSimulator sends the message with its `at` field still
@@ -41,6 +50,8 @@
 #include "net/event_queue.hpp"
 #include "net/latency.hpp"
 #include "net/message.hpp"
+#include "net/protocol.hpp"
+#include "net/transport.hpp"
 #include "rng/streams.hpp"
 #include "stats/p2_quantile.hpp"
 #include "stats/summary.hpp"
@@ -182,13 +193,14 @@ class SimCore {
       : ring_(&ring),
         cfg_(cfg),
         total_inserts_(cfg.insert_count()),
-        queue_(detail::queue_width_hint(cfg)),
+        transport_(cfg.latency,
+                   rng::make_stream(cfg.seed, cfg.trial,
+                                    rng::StreamPurpose::kNetLatency),
+                   detail::queue_width_hint(cfg)),
         candidates_(rng::make_stream(cfg.seed, cfg.trial,
                                      rng::StreamPurpose::kBallChoices)),
         clients_(rng::make_stream(cfg.seed, cfg.trial,
                                   rng::StreamPurpose::kWorkload)),
-        latency_(rng::make_stream(cfg.seed, cfg.trial,
-                                  rng::StreamPurpose::kNetLatency)),
         ties_(rng::make_stream(cfg.seed, cfg.trial,
                                rng::StreamPurpose::kTieBreaking)),
         loads_(ring.node_count(), 0) {
@@ -223,17 +235,15 @@ class SimCore {
         rng::uniform_below(clients_, ring_->node_count()));
   }
 
-  /// Schedule `m` across one link: samples a delay, counts the traversal.
-  /// Returns the queue ticket so a deferring engine can fill the payload
-  /// later; the sequential engine ignores it.
+  /// Schedule `m` across one link through the transport seam. Returns the
+  /// queue ticket so a deferring engine can fill the payload later; the
+  /// sequential engine ignores it.
   MessageQueue::Ticket send_link(SimTime now, const Message& m) {
-    ++metrics_.links;
-    ++metrics_.links_by_type[static_cast<std::size_t>(m.type)];
-    return queue_.push(now + cfg_.latency.sample(latency_), m);
+    return transport_.send(now, m);
   }
 
-  /// Zero-delay self-delivery starting an operation at its client.
-  void start_local(SimTime now, const Message& m) { queue_.push(now, m); }
+  /// The event schedule, for the engines' drive loops only.
+  [[nodiscard]] MessageQueue& queue() noexcept { return transport_.queue(); }
 
   void issue_insert(SimTime now) {
     const std::uint64_t op = next_insert_++;
@@ -246,33 +256,21 @@ class SimCore {
     }
     const auto slot = insert_ops_.emplace(InsertOp{now, op, {}, {}, 0}).pack();
     for (int j = 0; j < cfg_.choices; ++j) {
-      Message m;
-      m.type = MsgType::kProbe;
-      m.at = client;
-      m.from = client;
-      m.client = client;
-      m.op = op;
-      m.probe = static_cast<std::uint8_t>(j);
-      m.key = candidate[static_cast<std::size_t>(j)];
-      m.dest = ring_->successor(m.key);
-      m.slot = slot;
-      start_local(now, m);
+      const double key = candidate[static_cast<std::size_t>(j)];
+      transport_.deliver_local(
+          now, protocol::make_probe(client, op, static_cast<std::uint8_t>(j),
+                                    key, ring_->successor(key), slot));
     }
   }
 
   void issue_lookup(SimTime now) {
     const std::uint64_t op = next_lookup_++;
     const std::uint32_t client = pick_client();
-    Message m;
-    m.type = MsgType::kLookup;
-    m.at = client;
-    m.from = client;
-    m.client = client;
-    m.op = op;
-    m.key = rng::uniform01(candidates_);
-    m.dest = ring_->successor(m.key);
-    m.slot = lookup_ops_.emplace(LookupOp{now, op}).pack();
-    start_local(now, m);
+    const double key = rng::uniform01(candidates_);
+    const auto slot = lookup_ops_.emplace(LookupOp{now, op}).pack();
+    transport_.deliver_local(
+        now,
+        protocol::make_lookup(client, op, key, ring_->successor(key), slot));
   }
 
   void advance_phase(SimTime now) {
@@ -310,13 +308,7 @@ class SimCore {
 
   void on_probe(SimTime now, Message m) {
     if (!route_toward(now, m, m.dest)) return;
-    const std::uint32_t here = m.at;
-    Message r = m;
-    r.type = MsgType::kProbeReply;
-    r.at = m.client;
-    r.from = here;
-    r.load = loads_[here];
-    send_link(now, r);
+    send_link(now, protocol::make_probe_reply(m, loads_[m.at]));
   }
 
   void on_probe_reply(SimTime now, const Message& m) {
@@ -333,47 +325,12 @@ class SimCore {
     // All d replies in: pick the least-loaded candidate. The loads compared
     // here are reply-time snapshots — under a wide window they may already
     // be stale.
-    int best = 0;
-    std::uint32_t best_load = op.load[0];
-    std::uint32_t tied = 1;
-    for (int j = 1; j < cfg_.choices; ++j) {
-      const auto js = static_cast<std::size_t>(j);
-      const std::uint32_t load = op.load[js];
-      if (load < best_load) {
-        best = j;
-        best_load = load;
-        tied = 1;
-        continue;
-      }
-      if (load > best_load) continue;
-      switch (cfg_.tie) {
-        case core::TieBreak::kRandom:
-          ++tied;
-          if (rng::uniform_below(ties_, tied) == 0) best = j;
-          break;
-        case core::TieBreak::kFirstChoice:
-          break;
-        case core::TieBreak::kLowestIndex:
-          if (op.owner[js] < op.owner[static_cast<std::size_t>(best)]) {
-            best = j;
-          }
-          break;
-        default:
-          break;  // region ties rejected in the constructor
-      }
-    }
-
+    const int best = protocol::pick_best_candidate(
+        op.owner.data(), op.load.data(), cfg_.choices, cfg_.tie, ties_);
     const auto bs = static_cast<std::size_t>(best);
-    Message place;
-    place.type = MsgType::kPlace;
-    place.at = op.owner[bs];
-    place.from = m.client;
-    place.client = m.client;
-    place.op = m.op;
-    place.probe = static_cast<std::uint8_t>(best);
-    place.load = op.load[bs];
-    place.slot = m.slot;
-    send_link(now, place);
+    send_link(now, protocol::make_place(m.client, m.op,
+                                        static_cast<std::uint8_t>(best),
+                                        op.owner[bs], op.load[bs], m.slot));
   }
 
   void on_place(SimTime now, const Message& m) {
@@ -381,11 +338,7 @@ class SimCore {
     if (loads_[here] != m.load) ++metrics_.stale_reads;
     const std::uint32_t new_load = ++loads_[here];
     if (new_load > metrics_.max_load) metrics_.max_load = new_load;
-    Message ack = m;
-    ack.type = MsgType::kPlaceAck;
-    ack.at = m.client;
-    ack.from = here;
-    send_link(now, ack);
+    send_link(now, protocol::make_place_ack(m));
   }
 
   void on_place_ack(SimTime now, const Message& m) {
@@ -401,11 +354,7 @@ class SimCore {
 
   void on_lookup(SimTime now, Message m) {
     if (!route_toward(now, m, m.dest)) return;
-    Message r = m;
-    r.type = MsgType::kLookupReply;
-    r.at = m.client;
-    r.from = m.at;
-    send_link(now, r);
+    send_link(now, protocol::make_lookup_reply(m));
   }
 
   void on_lookup_reply(SimTime now, const Message& m) {
@@ -416,13 +365,7 @@ class SimCore {
     }
     const double latency = now - op.start;
     lookup_ops_.release(h);
-    // Chord path length: finger-table consultations that forwarded the
-    // query. The query is *resolved* at the owner's predecessor (which sees
-    // key in (self, successor]); the final delivery hop onto the owner is
-    // wire cost (in `links` and the latency metrics) but not routing work —
-    // this is the quantity the 1/2 * log2(n) prediction describes.
-    const double route_hops =
-        m.hops == 0 ? 0.0 : static_cast<double>(m.hops - 1);
+    const double route_hops = protocol::route_hops_of(m.hops);
     metrics_.lookup_hops.add(route_hops);
     metrics_.lookup_hops_q.add(route_hops);
     metrics_.lookup_latency.add(latency);
@@ -493,8 +436,11 @@ class SimCore {
     advance_phase(0.0);
   }
 
-  /// Snapshot final per-node loads and hand the metrics out.
+  /// Snapshot final per-node loads, pull the wire cost out of the
+  /// transport, and hand the metrics out.
   NetMetrics finish() {
+    metrics_.links = transport_.links().total;
+    metrics_.links_by_type = transport_.links().by_type;
     metrics_.loads = loads_;
     return metrics_;
   }
@@ -502,10 +448,9 @@ class SimCore {
   const dht::ChordRing* ring_;
   NetConfig cfg_;
   std::uint64_t total_inserts_;
-  MessageQueue queue_;
+  SimTransport transport_;
   rng::DefaultEngine candidates_;
   rng::DefaultEngine clients_;
-  rng::DefaultEngine latency_;
   rng::DefaultEngine ties_;
   std::vector<std::uint32_t> loads_;
   InsertPool insert_ops_;

@@ -18,8 +18,8 @@ NetMetrics NetSimulator::simulate(const NetConfig& cfg) {
 
 NetMetrics NetSimulator::run() {
   begin_run("NetSimulator");
-  while (!queue_.empty() && budget_left()) {
-    execute(queue_.pop());
+  while (!queue().empty() && budget_left()) {
+    execute(queue().pop());
   }
   return finish();
 }

@@ -1,0 +1,239 @@
+// dht_node — the reproduction, served: one Chord + two-choice node per
+// process, datagrams on the wire.
+//
+// Two modes:
+//
+//   Server:   dht_node --id=2 --nodes=4 --port-base=9200 --seed=42
+//     Bind 127.0.0.1:(port-base + id), derive the shared ring from
+//     (seed, trial, nodes), serve probes / placements / lookups until
+//     SIGTERM or SIGINT. Every node derives the same ring, so a static
+//     peer list is just the port arithmetic.
+//
+//   Cluster driver:  dht_node --cluster=4 --keys=512 --port-base=9200
+//     Fork the other N-1 nodes as children, run node 0 plus the
+//     ClientDriver in this process, drive the two-choice insertion
+//     workload (and --lookups measurement lookups), census every node's
+//     final load, print the report, SIGTERM the children, exit 0 only
+//     if every operation completed. This is the "run it for real" entry
+//     point — and the printed max load is directly comparable to the
+//     NetSimulator oracle for the same --seed/--nodes/--keys/--choices
+//     with a deterministic --tie.
+//
+// Flags (shared): --nodes, --port-base, --seed, --trial, --choices,
+// --tie (first|lowest|random), --keys, --lookups, --window,
+// --retransmit-ms, --timeout-ms.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "core/tie_breaking.hpp"
+#include "dht/chord.hpp"
+#include "net/node.hpp"
+#include "net/udp_transport.hpp"
+#include "rng/streams.hpp"
+#include "sim/cli.hpp"
+
+namespace {
+
+using namespace geochoice;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  std::size_t nodes = 4;
+  std::uint32_t id = 0;
+  std::uint16_t port_base = 9200;
+  std::uint64_t seed = 0x6e657473696d2121ULL;  // NetConfig's default
+  std::uint64_t trial = 0;
+  std::uint64_t keys = 0;  // 0 = nodes
+  std::uint64_t lookups = 0;
+  int choices = 2;
+  std::uint32_t window = 1;
+  core::TieBreak tie = core::TieBreak::kFirstChoice;
+  std::uint64_t retransmit_ms = 50;
+  std::uint64_t timeout_ms = 60'000;
+};
+
+dht::ChordRing make_ring(const Options& opt) {
+  auto gen = rng::make_stream(opt.seed, opt.trial,
+                              rng::StreamPurpose::kServerPlacement);
+  auto ring = dht::ChordRing::random(opt.nodes, gen);
+  ring.build_fingers();
+  return ring;
+}
+
+std::vector<net::Endpoint> make_peers(const Options& opt) {
+  std::vector<net::Endpoint> peers;
+  peers.reserve(opt.nodes);
+  for (std::size_t i = 0; i < opt.nodes; ++i) {
+    peers.push_back(net::Endpoint{
+        0x7f000001u, static_cast<std::uint16_t>(opt.port_base + i)});
+  }
+  return peers;
+}
+
+/// Serve one node until a termination signal. Used by standalone server
+/// processes and by the forked children of cluster mode.
+int serve(const Options& opt) {
+  const auto ring = make_ring(opt);
+  net::UdpTransport transport(
+      opt.id, static_cast<std::uint16_t>(opt.port_base + opt.id));
+  transport.set_peers(make_peers(opt));
+  net::NodeLogic<net::UdpTransport> node(ring, opt.id, transport);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (g_stop == 0) {
+    transport.poll(
+        50, [&](const net::Message& m) { node.on_message(m); },
+        [](const net::Message&) {});
+  }
+  return 0;
+}
+
+/// Node 0 + driver + census, assuming the other nodes are listening.
+int drive(const Options& opt) {
+  const auto ring = make_ring(opt);
+  net::UdpTransport transport(0, opt.port_base);
+  transport.set_peers(make_peers(opt));
+  net::NodeLogic<net::UdpTransport> node(ring, 0, transport);
+
+  net::DriverConfig dcfg;
+  dcfg.inserts = opt.keys == 0 ? opt.nodes : opt.keys;
+  dcfg.lookups = opt.lookups;
+  dcfg.choices = opt.choices;
+  dcfg.window = opt.window;
+  dcfg.tie = opt.tie;
+  dcfg.seed = opt.seed;
+  dcfg.trial = opt.trial;
+  dcfg.retransmit_ms = opt.retransmit_ms;
+  net::ClientDriver<net::UdpTransport> driver(ring, dcfg, transport);
+
+  driver.start();
+  while (!driver.done()) {
+    if (transport.now_ms() > opt.timeout_ms) {
+      std::fprintf(stderr, "dht_node: workload timed out after %llu ms\n",
+                   static_cast<unsigned long long>(opt.timeout_ms));
+      return 1;
+    }
+    transport.poll(
+        1,
+        [&](const net::Message& m) {
+          switch (m.type) {
+            case net::MsgType::kProbe:
+            case net::MsgType::kPlace:
+            case net::MsgType::kLookup:
+              node.on_message(m);
+              return;
+            default:
+              driver.on_reply(m);
+              return;
+          }
+        },
+        [&](const net::Message& t) { driver.on_timer(t); });
+  }
+
+  const net::DriverReport& r = driver.report();
+  std::printf("nodes=%zu inserts=%llu lookups=%llu max_load=%u "
+              "retransmits=%llu datagrams_out=%llu malformed=%llu\n",
+              opt.nodes, static_cast<unsigned long long>(r.inserts),
+              static_cast<unsigned long long>(r.lookups), r.max_load,
+              static_cast<unsigned long long>(r.retransmits),
+              static_cast<unsigned long long>(transport.links().total),
+              static_cast<unsigned long long>(transport.malformed()));
+  std::printf("insert_latency_us: mean=%.1f p50=%.1f p90=%.1f p99=%.1f\n",
+              r.insert_latency_us.mean(), r.insert_latency_us_q.value(0),
+              r.insert_latency_us_q.value(1), r.insert_latency_us_q.value(2));
+  if (r.lookups > 0) {
+    std::printf("lookup_latency_us: mean=%.1f p50=%.1f p90=%.1f p99=%.1f\n",
+                r.lookup_latency_us.mean(), r.lookup_latency_us_q.value(0),
+                r.lookup_latency_us_q.value(1), r.lookup_latency_us_q.value(2));
+  }
+  const bool complete =
+      r.inserts == dcfg.inserts && r.lookups == dcfg.lookups &&
+      r.loads.size() == opt.nodes;
+  return complete ? 0 : 1;
+}
+
+/// Fork the ring, drive it, tear it down.
+int run_cluster(const Options& opt) {
+  std::vector<pid_t> children;
+  children.reserve(opt.nodes - 1);
+  for (std::size_t i = 1; i < opt.nodes; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("dht_node: fork");
+      for (const pid_t c : children) kill(c, SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      Options child = opt;
+      child.id = static_cast<std::uint32_t>(i);
+      _exit(serve(child));
+    }
+    children.push_back(pid);
+  }
+  int rc = 1;
+  try {
+    rc = drive(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dht_node: %s\n", e.what());
+  }
+  for (const pid_t c : children) kill(c, SIGTERM);
+  for (const pid_t c : children) {
+    int status = 0;
+    waitpid(c, &status, 0);
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    sim::ArgParser args(argc, argv);
+    Options opt;
+    const bool cluster = args.has("cluster");
+    opt.nodes = cluster ? args.get_u64("cluster", opt.nodes)
+                        : args.get_u64("nodes", opt.nodes);
+    opt.id = static_cast<std::uint32_t>(args.get_u64("id", 0));
+    opt.port_base =
+        static_cast<std::uint16_t>(args.get_u64("port-base", opt.port_base));
+    opt.seed = args.get_u64("seed", opt.seed);
+    opt.trial = args.get_u64("trial", opt.trial);
+    opt.keys = args.get_u64("keys", opt.keys);
+    opt.lookups = args.get_u64("lookups", opt.lookups);
+    opt.choices = static_cast<int>(args.get_u64("choices", 2));
+    opt.window = static_cast<std::uint32_t>(args.get_u64("window", 1));
+    opt.tie = core::tie_break_from_string(args.get_string("tie", "first"));
+    opt.retransmit_ms = args.get_u64("retransmit-ms", opt.retransmit_ms);
+    opt.timeout_ms = args.get_u64("timeout-ms", opt.timeout_ms);
+    if (const auto stray = args.unused(); !stray.empty()) {
+      std::fprintf(stderr, "dht_node: unknown flag --%s\n", stray[0].c_str());
+      return 2;
+    }
+    if (opt.nodes < 1) {
+      std::fprintf(stderr, "dht_node: need at least one node\n");
+      return 2;
+    }
+    if (opt.id >= opt.nodes) {
+      std::fprintf(stderr, "dht_node: --id must be < --nodes\n");
+      return 2;
+    }
+    if (cluster) return run_cluster(opt);
+    if (args.has("id")) return serve(opt);
+    // No --cluster and no --id: serve node 0 (a one-node "cluster").
+    return serve(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dht_node: %s\n", e.what());
+    return 2;
+  }
+}

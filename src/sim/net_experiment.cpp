@@ -4,9 +4,49 @@
 #include <stdexcept>
 
 #include "parallel/trial_runner.hpp"
+#include "sim/scenario.hpp"
 #include "sim/table_format.hpp"
 
 namespace geochoice::sim {
+
+NetScenarioConfig net_scenario_config(const Scenario& sc) {
+  NetScenarioConfig cfg;
+  cfg.net.nodes = static_cast<std::size_t>(sc.num_servers);
+  cfg.net.keys = sc.balls();
+  cfg.net.choices = sc.num_choices;
+  cfg.net.window = sc.window;
+  cfg.net.tie = sc.tie;
+  cfg.net.latency = sc.latency;
+  cfg.net.lookups = sc.lookups;
+  cfg.net.seed = sc.seed;
+  cfg.trials = sc.trials;
+  cfg.threads = sc.threads;
+  cfg.workers = sc.workers;
+  cfg.shards = sc.shards;
+  return cfg;
+}
+
+NetScenarioResult net_scenario_result(const RunReport& report) {
+  const WireMetrics& w = report.wire;
+  NetScenarioResult r;
+  r.max_load = report.max_load;
+  r.mean_lookup_hops = w.mean_lookup_hops;
+  r.lookup_hops_p50 = w.lookup_hops_p50;
+  r.lookup_hops_p90 = w.lookup_hops_p90;
+  r.lookup_hops_p99 = w.lookup_hops_p99;
+  r.insert_latency_p50 = w.insert_latency_p50;
+  r.insert_latency_p90 = w.insert_latency_p90;
+  r.insert_latency_p99 = w.insert_latency_p99;
+  r.lookup_latency_p50 = w.lookup_latency_p50;
+  r.lookup_latency_p90 = w.lookup_latency_p90;
+  r.lookup_latency_p99 = w.lookup_latency_p99;
+  r.links_per_insert = w.links_per_insert;
+  r.probe_hops_per_insert = w.probe_hops_per_insert;
+  r.stale_fraction = w.stale_fraction;
+  r.mean_events = w.mean_events;
+  r.mean_end_time = w.mean_end_time;
+  return r;
+}
 
 NetScenarioResult run_net_scenario(const NetScenarioConfig& cfg) {
   if (cfg.trials == 0) {

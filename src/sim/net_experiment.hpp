@@ -62,6 +62,21 @@ struct NetScenarioResult {
 /// Run the scenario's trials in parallel (deterministic in the seed).
 [[nodiscard]] NetScenarioResult run_net_scenario(const NetScenarioConfig& cfg);
 
+struct Scenario;
+struct RunReport;
+
+/// Bridge from the unified front door (scenario.hpp): the NetScenarioConfig
+/// a wire-model Scenario denotes — n/m/d/tie plus the net knobs (latency,
+/// window, lookups, workers, shards). sim::run dispatches through this, so
+/// `run(sc)` and `run_net_scenario(net_scenario_config(sc))` are the same
+/// run bit-for-bit.
+[[nodiscard]] NetScenarioConfig net_scenario_config(const Scenario& sc);
+
+/// The reverse bridge for reporting: rebuild the flat NetScenarioResult
+/// from a wire-model RunReport (histogram + WireMetrics), so net_csv_row
+/// and render_net_summary keep working on front-door runs.
+[[nodiscard]] NetScenarioResult net_scenario_result(const RunReport& report);
+
 /// Human-readable report: config echo, wire/latency metric table, and the
 /// paper-style max-load distribution block.
 [[nodiscard]] std::string render_net_summary(const NetScenarioConfig& cfg,

@@ -11,9 +11,11 @@
 #include "core/sharded_process.hpp"
 #include "dht/chord.hpp"
 #include "net/chord_space.hpp"
+#include "net/cluster.hpp"
 #include "parallel/trial_runner.hpp"
 #include "rng/streams.hpp"
 #include "sim/cli.hpp"
+#include "sim/net_experiment.hpp"
 #include "sim/table_format.hpp"
 #include "spaces/ring_space.hpp"
 #include "spaces/torus_nd_space.hpp"
@@ -71,6 +73,38 @@ Engine engine_from_string(std::string_view name) {
   if (name == "sharded") return Engine::kSharded;
   if (name == "auto") return Engine::kAuto;
   throw std::invalid_argument("unknown engine: " + std::string(name));
+}
+
+std::string_view to_string(ExecModel m) noexcept {
+  switch (m) {
+    case ExecModel::kStructural:
+      return "structural";
+    case ExecModel::kWire:
+      return "wire";
+  }
+  return "?";
+}
+
+ExecModel exec_model_from_string(std::string_view name) {
+  if (name == "structural") return ExecModel::kStructural;
+  if (name == "wire" || name == "net") return ExecModel::kWire;
+  throw std::invalid_argument("unknown exec model: " + std::string(name));
+}
+
+std::string_view to_string(WireTransport t) noexcept {
+  switch (t) {
+    case WireTransport::kSim:
+      return "sim";
+    case WireTransport::kUdp:
+      return "udp";
+  }
+  return "?";
+}
+
+WireTransport wire_transport_from_string(std::string_view name) {
+  if (name == "sim") return WireTransport::kSim;
+  if (name == "udp") return WireTransport::kUdp;
+  throw std::invalid_argument("unknown wire transport: " + std::string(name));
 }
 
 bool engine_supports(Engine engine, SpaceKind space) noexcept {
@@ -308,9 +342,183 @@ void validate(const Scenario& sc, Engine engine) {
   }
 }
 
+/// Wire-model validation: the protocol routes on the Chord ring, draws
+/// independent candidates, and the real transport has no parallel engine.
+void validate_wire(const Scenario& sc) {
+  if (sc.trials == 0) throw std::invalid_argument("run: zero trials");
+  if (sc.num_servers == 0) throw std::invalid_argument("run: zero servers");
+  if (sc.num_choices < 1) {
+    throw std::invalid_argument("run: need at least one choice");
+  }
+  if (sc.space != SpaceKind::kChordNet) {
+    throw std::invalid_argument(
+        "run: the wire model routes on the Chord ring; use --space=chord");
+  }
+  if (sc.scheme != core::ChoiceScheme::kIndependent) {
+    throw std::invalid_argument(
+        "run: the wire protocol draws independent candidates; partitioned "
+        "sampling is structural-only");
+  }
+  if (core::needs_region_measure(sc.tie)) {
+    throw std::invalid_argument(
+        "run: region-measure tie-breaks would need arc sizes on the wire");
+  }
+  if (sc.window < 1) throw std::invalid_argument("run: window must be >= 1");
+  for (const double q : sc.quantiles) {
+    if (!(q > 0.0 && q < 1.0)) {
+      throw std::invalid_argument("run: quantiles must lie in (0, 1)");
+    }
+  }
+  if (sc.transport == WireTransport::kUdp) {
+    if (sc.workers != 0 || sc.shards != 0) {
+      throw std::invalid_argument(
+          "run: workers/shards drive the parallel simulator; the UDP "
+          "cluster runs in real time and has neither");
+    }
+    return;
+  }
+  sc.latency.validate();
+  if (sc.workers > 0 && !(sc.latency.min() > 0.0)) {
+    throw std::invalid_argument(
+        "run: workers > 0 needs a latency model with a positive minimum "
+        "(the conservative engine's lookahead)");
+  }
+}
+
+/// kUdp trials: each stands up a fresh loopback cluster. Sequential on
+/// purpose — the trials share the kernel's loopback path and the wall
+/// clock, so parallel trials would contend, not speed up. Per-trial P²
+/// percentile estimates are averaged, mirroring run_net_scenario.
+void run_udp_trials(const Scenario& sc, RunReport& report) {
+  WireMetrics& w = report.wire;
+  double ins_p50 = 0.0, ins_p90 = 0.0, ins_p99 = 0.0;
+  double look_p50 = 0.0, look_p90 = 0.0, look_p99 = 0.0;
+  std::uint64_t ins_trials = 0, look_trials = 0;
+  std::uint64_t inserts = 0, stale = 0;
+  double sum_elapsed = 0.0;
+  double min_s = 0.0, max_s = 0.0, sum_s = 0.0;
+  for (std::uint64_t t = 0; t < sc.trials; ++t) {
+    net::ClusterConfig cc;
+    cc.nodes = static_cast<std::size_t>(sc.num_servers);
+    cc.driver.inserts = sc.balls();
+    cc.driver.lookups = sc.lookups;
+    cc.driver.choices = sc.num_choices;
+    cc.driver.window = sc.window;
+    cc.driver.tie = sc.tie;
+    cc.driver.seed = sc.seed;
+    cc.driver.trial = t;
+    const auto t0 = Clock::now();
+    const net::ClusterResult res = net::run_loopback_cluster(cc);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    sum_s += secs;
+    if (t == 0 || secs < min_s) min_s = secs;
+    if (t == 0 || secs > max_s) max_s = secs;
+
+    report.max_load.add(res.report.max_load);
+    w.datagrams += res.datagrams;
+    w.malformed += res.malformed;
+    w.retransmits += res.report.retransmits;
+    stale += res.stale_reads;
+    inserts += res.report.inserts;
+    sum_elapsed += static_cast<double>(res.elapsed_ms) / 1000.0;
+    if (res.report.insert_latency_us_q.count() > 0) {
+      ins_p50 += res.report.insert_latency_us_q.value(0);
+      ins_p90 += res.report.insert_latency_us_q.value(1);
+      ins_p99 += res.report.insert_latency_us_q.value(2);
+      ++ins_trials;
+    }
+    if (res.report.lookup_latency_us_q.count() > 0) {
+      look_p50 += res.report.lookup_latency_us_q.value(0);
+      look_p90 += res.report.lookup_latency_us_q.value(1);
+      look_p99 += res.report.lookup_latency_us_q.value(2);
+      ++look_trials;
+    }
+  }
+  if (ins_trials > 0) {
+    const double k = static_cast<double>(ins_trials);
+    w.insert_latency_p50 = ins_p50 / k;
+    w.insert_latency_p90 = ins_p90 / k;
+    w.insert_latency_p99 = ins_p99 / k;
+  }
+  if (look_trials > 0) {
+    const double k = static_cast<double>(look_trials);
+    w.lookup_latency_p50 = look_p50 / k;
+    w.lookup_latency_p90 = look_p90 / k;
+    w.lookup_latency_p99 = look_p99 / k;
+  }
+  if (inserts > 0) {
+    w.links_per_insert =
+        static_cast<double>(w.datagrams) / static_cast<double>(inserts);
+    w.stale_fraction =
+        static_cast<double>(stale) / static_cast<double>(inserts);
+  }
+  w.mean_end_time = sum_elapsed / static_cast<double>(sc.trials);
+  report.total_seconds = sum_s;
+  report.trial_seconds_min = min_s;
+  report.trial_seconds_max = max_s;
+  report.trial_seconds_mean = sum_s / static_cast<double>(sc.trials);
+}
+
+RunReport run_wire(const Scenario& sc) {
+  validate_wire(sc);
+  RunReport report;
+  report.spec = sc;
+  // Wire runs have no structural engine; echo kScalar so the resolved
+  // spec is concrete (never kAuto) and reruns cleanly.
+  report.spec.engine = Engine::kScalar;
+  report.spec.num_balls = sc.balls();
+  report.spec.threads = resolve_threads(sc.threads);
+  report.wire.present = true;
+
+  if (sc.transport == WireTransport::kSim) {
+    const auto t0 = Clock::now();
+    const NetScenarioResult r = run_net_scenario(net_scenario_config(sc));
+    const double total =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    report.max_load = r.max_load;
+    WireMetrics& w = report.wire;
+    w.mean_lookup_hops = r.mean_lookup_hops;
+    w.lookup_hops_p50 = r.lookup_hops_p50;
+    w.lookup_hops_p90 = r.lookup_hops_p90;
+    w.lookup_hops_p99 = r.lookup_hops_p99;
+    w.insert_latency_p50 = r.insert_latency_p50;
+    w.insert_latency_p90 = r.insert_latency_p90;
+    w.insert_latency_p99 = r.insert_latency_p99;
+    w.lookup_latency_p50 = r.lookup_latency_p50;
+    w.lookup_latency_p90 = r.lookup_latency_p90;
+    w.lookup_latency_p99 = r.lookup_latency_p99;
+    w.links_per_insert = r.links_per_insert;
+    w.probe_hops_per_insert = r.probe_hops_per_insert;
+    w.stale_fraction = r.stale_fraction;
+    w.mean_events = r.mean_events;
+    w.mean_end_time = r.mean_end_time;
+    // run_net_scenario runs trials in parallel, so per-trial wall times
+    // are not separable; report the mean as the whole range.
+    report.total_seconds = total;
+    report.trial_seconds_mean = total / static_cast<double>(sc.trials);
+    report.trial_seconds_min = report.trial_seconds_mean;
+    report.trial_seconds_max = report.trial_seconds_mean;
+  } else {
+    run_udp_trials(sc, report);
+  }
+  if (report.total_seconds > 0.0) {
+    report.balls_per_sec = static_cast<double>(sc.balls()) *
+                           static_cast<double>(sc.trials) /
+                           report.total_seconds;
+  }
+  report.quantile_values.reserve(sc.quantiles.size());
+  for (const double q : sc.quantiles) {
+    report.quantile_values.push_back(
+        static_cast<double>(report.max_load.quantile(q)));
+  }
+  return report;
+}
+
 }  // namespace
 
 RunReport run(const Scenario& sc) {
+  if (sc.model == ExecModel::kWire) return run_wire(sc);
   const Engine engine = resolve_engine(sc);
   validate(sc, engine);
   const std::uint64_t measure_samples =
@@ -392,6 +600,20 @@ Scenario scenario_from_args(const ArgParser& args, Scenario defaults) {
       args.get_u64("dims", static_cast<std::uint64_t>(sc.torus_dims)));
   sc.zipf_alpha = args.get_double("alpha", sc.zipf_alpha);
   sc.measure_samples = args.get_u64("measure-samples", sc.measure_samples);
+  sc.model = exec_model_from_string(
+      args.get_string("model", std::string(to_string(sc.model))));
+  sc.transport = wire_transport_from_string(
+      args.get_string("transport", std::string(to_string(sc.transport))));
+  sc.latency.kind = net::latency_kind_from_string(args.get_string(
+      "latency", std::string(net::to_string(sc.latency.kind))));
+  sc.latency.a = args.get_double("lat-a", sc.latency.a);
+  sc.latency.b = args.get_double("lat-b", sc.latency.b);
+  sc.window = static_cast<std::uint32_t>(
+      args.get_u64("window", static_cast<std::uint64_t>(sc.window)));
+  sc.lookups = args.get_u64("lookups", sc.lookups);
+  sc.workers = args.get_u64("workers", sc.workers);
+  sc.shards = static_cast<std::uint32_t>(
+      args.get_u64("shards", static_cast<std::uint64_t>(sc.shards)));
   return sc;
 }
 
@@ -435,6 +657,42 @@ std::string render_run_summary(const RunReport& report) {
                 static_cast<unsigned long long>(sc.trials),
                 static_cast<unsigned long long>(sc.seed), sc.threads);
   out += buf;
+  if (report.wire.present) {
+    const WireMetrics& w = report.wire;
+    std::snprintf(buf, sizeof(buf),
+                  "wire:     model=wire transport=%s latency=%s(%g, %g) "
+                  "window=%u lookups=%llu\n",
+                  std::string(to_string(sc.transport)).c_str(),
+                  std::string(net::to_string(sc.latency.kind)).c_str(),
+                  sc.latency.a, sc.latency.b, sc.window,
+                  static_cast<unsigned long long>(sc.lookups));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "          links/insert %.2f, stale %.4f, "
+                  "insert lat p50/p90/p99 %.2f/%.2f/%.2f\n",
+                  w.links_per_insert, w.stale_fraction, w.insert_latency_p50,
+                  w.insert_latency_p90, w.insert_latency_p99);
+    out += buf;
+    if (sc.lookups > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "          lookup hops mean %.2f p50/p90/p99 "
+                    "%.1f/%.1f/%.1f, lookup lat p50/p90/p99 "
+                    "%.2f/%.2f/%.2f\n",
+                    w.mean_lookup_hops, w.lookup_hops_p50, w.lookup_hops_p90,
+                    w.lookup_hops_p99, w.lookup_latency_p50,
+                    w.lookup_latency_p90, w.lookup_latency_p99);
+      out += buf;
+    }
+    if (sc.transport == WireTransport::kUdp) {
+      std::snprintf(buf, sizeof(buf),
+                    "          datagrams %llu, malformed %llu, "
+                    "retransmits %llu\n",
+                    static_cast<unsigned long long>(w.datagrams),
+                    static_cast<unsigned long long>(w.malformed),
+                    static_cast<unsigned long long>(w.retransmits));
+      out += buf;
+    }
+  }
   std::snprintf(buf, sizeof(buf),
                 "timing:   total %.3fs, per trial %.2g/%.2g/%.2g s "
                 "(min/mean/max), %.3g balls/sec\n",
@@ -513,6 +771,32 @@ std::string scenario_json(const RunReport& report) {
       format_double(sc.zipf_alpha).c_str(),
       static_cast<unsigned long long>(sc.measure_samples));
   json += buf;
+  if (report.wire.present) {
+    const WireMetrics& w = report.wire;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"wire\": {\"transport\": \"%s\", \"latency\": \"%s\", "
+        "\"lat_a\": %s, \"lat_b\": %s, \"window\": %u, \"lookups\": %llu, ",
+        std::string(to_string(sc.transport)).c_str(),
+        std::string(net::to_string(sc.latency.kind)).c_str(),
+        format_double(sc.latency.a).c_str(),
+        format_double(sc.latency.b).c_str(), sc.window,
+        static_cast<unsigned long long>(sc.lookups));
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"links_per_insert\": %s, \"stale_fraction\": %s, "
+        "\"insert_latency_p99\": %s, \"lookup_hops_p99\": %s, "
+        "\"datagrams\": %llu, \"malformed\": %llu, \"retransmits\": %llu},\n",
+        format_double(w.links_per_insert).c_str(),
+        format_double(w.stale_fraction).c_str(),
+        format_double(w.insert_latency_p99).c_str(),
+        format_double(w.lookup_hops_p99).c_str(),
+        static_cast<unsigned long long>(w.datagrams),
+        static_cast<unsigned long long>(w.malformed),
+        static_cast<unsigned long long>(w.retransmits));
+    json += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "  \"mean_max_load\": %s,\n  \"max_load_min\": %llu,\n"
                 "  \"max_load_max\": %llu,\n",

@@ -24,6 +24,15 @@
 // threads (see resolve_engine); the chosen engine is echoed in
 // RunReport::spec, so a report is always reproducible by rerunning its
 // own resolved spec with an explicit engine.
+//
+// Beyond the structural engines, a Scenario can select the *wire*
+// execution model (ExecModel::kWire): the same (n, m, d, tie) experiment
+// run through the message-level Chord simulator — or, with
+// transport = kUdp, against a real in-process localhost UDP cluster —
+// reporting per-message hop/latency/staleness metrics next to the
+// max-load distribution. The net fields (latency, window, lookups,
+// workers, shards, transport) live in the spec, so RunReport::spec
+// reproduces net runs exactly like structural ones.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "core/process.hpp"
+#include "net/latency.hpp"
 #include "stats/histogram.hpp"
 
 namespace geochoice::sim {
@@ -54,10 +64,29 @@ enum class Engine {
   kAuto,     // pick by space capability + m + threads (resolve_engine)
 };
 
+/// How the experiment executes: structurally (the allocation engines walk
+/// owner lookups in memory) or over the wire (every probe, reply, and
+/// placement is a routed message with latency, staleness, and loss —
+/// Section 4's deployed-DHT questions).
+enum class ExecModel {
+  kStructural,  // scalar / batched / sharded engines (the default)
+  kWire,        // message-level Chord protocol runs
+};
+
+/// Which wire carries a kWire run's messages.
+enum class WireTransport {
+  kSim,  // deterministic event-queue simulation (NetSimulator family)
+  kUdp,  // real datagrams: in-process localhost UDP cluster (net/cluster.hpp)
+};
+
 [[nodiscard]] std::string_view to_string(SpaceKind k) noexcept;
 [[nodiscard]] SpaceKind space_kind_from_string(std::string_view name);
 [[nodiscard]] std::string_view to_string(Engine e) noexcept;
 [[nodiscard]] Engine engine_from_string(std::string_view name);
+[[nodiscard]] std::string_view to_string(ExecModel m) noexcept;
+[[nodiscard]] ExecModel exec_model_from_string(std::string_view name);
+[[nodiscard]] std::string_view to_string(WireTransport t) noexcept;
+[[nodiscard]] WireTransport wire_transport_from_string(std::string_view name);
 
 /// Declarative experiment spec. The first block of fields matches
 /// ExperimentConfig member-for-member (see experiment.hpp for the
@@ -87,6 +116,30 @@ struct Scenario {
   /// substream, so estimates are engine-independent.
   std::uint64_t measure_samples = 0;
 
+  // ---- wire-model fields (ExecModel::kWire; ignored when structural) ----
+
+  /// Structural runs ignore everything below. Wire runs require
+  /// space == kChordNet (the protocol routes on the Chord ring) and an
+  /// independent choice scheme; n/m/d/tie/trials/seed/threads keep their
+  /// structural meanings.
+  ExecModel model = ExecModel::kStructural;
+  /// kSim replays the protocol deterministically; kUdp sends every
+  /// message as a real datagram through an in-process localhost cluster.
+  WireTransport transport = WireTransport::kSim;
+  /// Per-hop latency model (kSim only; kUdp pays the kernel's real one).
+  net::LatencyModel latency = net::LatencyModel::constant(1.0);
+  /// Maximum insert operations in flight (1 = staleness-free baseline).
+  std::uint32_t window = 1;
+  /// Measurement lookups issued after the inserts drain.
+  std::uint64_t lookups = 0;
+  /// kSim: in-trial engine parallelism. 0 runs the sequential
+  /// NetSimulator; >= 1 dispatches each trial on a ParallelNetSimulator
+  /// with this worker count (bit-identical results; needs a latency model
+  /// with a positive minimum). Must be 0 for kUdp.
+  std::size_t workers = 0;
+  /// kSim: ring shards for the parallel engine (0 = 4 per worker).
+  std::uint32_t shards = 0;
+
   /// Streaming max-load percentiles reported next to the histogram
   /// (each must lie in (0, 1)).
   std::vector<double> quantiles = {0.5, 0.9, 0.99};
@@ -94,6 +147,37 @@ struct Scenario {
   [[nodiscard]] std::uint64_t balls() const noexcept {
     return num_balls == 0 ? num_servers : num_balls;
   }
+};
+
+/// Per-message metrics a wire-model run reports next to the max-load
+/// distribution. Latency/hop percentiles are per-trial P² estimates
+/// averaged over trials (run_net_scenario's aggregation). Units differ by
+/// transport: kSim latencies are simulated time, kUdp latencies are real
+/// microseconds. The hop/event fields are kSim-only (the real cluster does
+/// not trace per-message routing); the datagram counters are kUdp-only.
+struct WireMetrics {
+  bool present = false;  // true iff the report came from ExecModel::kWire
+  double mean_lookup_hops = 0.0;
+  double lookup_hops_p50 = 0.0;
+  double lookup_hops_p90 = 0.0;
+  double lookup_hops_p99 = 0.0;
+  double insert_latency_p50 = 0.0;
+  double insert_latency_p90 = 0.0;
+  double insert_latency_p99 = 0.0;
+  double lookup_latency_p50 = 0.0;
+  double lookup_latency_p90 = 0.0;
+  double lookup_latency_p99 = 0.0;
+  /// Wire cost per insert: link traversals (kSim) or datagrams (kUdp).
+  double links_per_insert = 0.0;
+  double probe_hops_per_insert = 0.0;
+  /// Fraction of placements that acted on a stale load reply.
+  double stale_fraction = 0.0;
+  double mean_events = 0.0;
+  double mean_end_time = 0.0;
+  // kUdp only: totals across all trials.
+  std::uint64_t datagrams = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t retransmits = 0;
 };
 
 /// Everything one run produced, plus the spec that produced it.
@@ -111,6 +195,9 @@ struct RunReport {
   /// needed; the P² streaming machinery serves the net/ per-message
   /// metrics, where traces are not kept).
   std::vector<double> quantile_values;
+
+  /// Wire-model metrics; wire.present is false for structural runs.
+  WireMetrics wire;
 
   /// Per-trial wall timing (seconds), aggregated over trials.
   double total_seconds = 0.0;
@@ -156,6 +243,10 @@ struct RunReport {
 ///   --m=M  --d=D  --tie=random|first|smaller|larger|lowest-index
 ///   --scheme=independent|partitioned  --trials=T  --seed=S
 ///   --threads=K  --dims=D  --alpha=A  --measure-samples=S
+/// and the wire-model flags:
+///   --model=structural|wire  --transport=sim|udp
+///   --latency=constant|uniform|lognormal  --lat-a=A  --lat-b=B
+///   --window=W  --lookups=L  --workers=K  --shards=S
 [[nodiscard]] Scenario scenario_from_args(const ArgParser& args,
                                           Scenario defaults = {});
 

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <system_error>
 #include <string>
 #include <vector>
 
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
+#include "sim/net_experiment.hpp"
 #include "sim/scenario.hpp"
 
 namespace gm = geochoice::sim;
@@ -309,4 +311,163 @@ TEST(Scenario, ShimEqualsFacadeWithScalarEngine) {
   const auto via_facade = gm::run(gm::to_scenario(cfg)).max_load;
   EXPECT_EQ(via_shim, via_facade);
   EXPECT_EQ(gm::to_scenario(cfg).engine, gm::Engine::kScalar);
+}
+
+// --------------------------------------------------------------- wire model
+
+namespace {
+
+gm::Scenario wire_scenario() {
+  gm::Scenario sc;
+  sc.model = gm::ExecModel::kWire;
+  sc.space = gm::SpaceKind::kChordNet;
+  sc.num_servers = 64;
+  sc.num_balls = 256;
+  sc.window = 4;
+  sc.lookups = 64;
+  sc.trials = 4;
+  sc.seed = 0x5eed;
+  return sc;
+}
+
+}  // namespace
+
+// The front door's kSim path IS run_net_scenario: the bridge maps every
+// Scenario field onto NetScenarioConfig, so the histogram and the wire
+// metrics agree bit-for-bit with a direct call.
+TEST(ScenarioWire, SimPathEqualsRunNetScenario) {
+  const auto sc = wire_scenario();
+  const auto report = gm::run(sc);
+  ASSERT_TRUE(report.wire.present);
+  const auto direct = gm::run_net_scenario(gm::net_scenario_config(sc));
+  EXPECT_EQ(report.max_load, direct.max_load);
+  const auto r = gm::net_scenario_result(report);
+  EXPECT_DOUBLE_EQ(r.stale_fraction, direct.stale_fraction);
+  EXPECT_DOUBLE_EQ(r.links_per_insert, direct.links_per_insert);
+  EXPECT_DOUBLE_EQ(r.insert_latency_p99, direct.insert_latency_p99);
+  EXPECT_DOUBLE_EQ(r.lookup_hops_p50, direct.lookup_hops_p50);
+  EXPECT_DOUBLE_EQ(r.mean_events, direct.mean_events);
+}
+
+// RunReport::spec reproduces net runs just like structural ones: rerunning
+// the resolved spec is the same experiment.
+TEST(ScenarioWire, SpecReproducesTheRun) {
+  const auto first = gm::run(wire_scenario());
+  const auto again = gm::run(first.spec);
+  EXPECT_EQ(first.max_load, again.max_load);
+  EXPECT_DOUBLE_EQ(first.wire.stale_fraction, again.wire.stale_fraction);
+  EXPECT_DOUBLE_EQ(first.wire.mean_end_time, again.wire.mean_end_time);
+  EXPECT_NE(first.spec.engine, gm::Engine::kAuto);  // spec stays concrete
+}
+
+// The workers knob dispatches the conservative parallel engine per trial;
+// the engines share one trace, so the report is bit-identical.
+TEST(ScenarioWire, ParallelWorkersAreBitIdentical) {
+  auto sc = wire_scenario();
+  const auto sequential = gm::run(sc);
+  sc.workers = 2;
+  const auto parallel = gm::run(sc);
+  EXPECT_EQ(sequential.max_load, parallel.max_load);
+  EXPECT_DOUBLE_EQ(sequential.wire.stale_fraction,
+                   parallel.wire.stale_fraction);
+}
+
+TEST(ScenarioWire, ValidatesWireSpecs) {
+  {
+    auto sc = wire_scenario();
+    sc.space = gm::SpaceKind::kRing;  // the protocol routes on Chord
+    EXPECT_THROW((void)gm::run(sc), std::invalid_argument);
+  }
+  {
+    auto sc = wire_scenario();
+    sc.scheme = gc::ChoiceScheme::kPartitioned;
+    EXPECT_THROW((void)gm::run(sc), std::invalid_argument);
+  }
+  {
+    auto sc = wire_scenario();
+    sc.tie = gc::TieBreak::kSmallerRegion;  // needs arc sizes on the wire
+    EXPECT_THROW((void)gm::run(sc), std::invalid_argument);
+  }
+  {
+    auto sc = wire_scenario();
+    sc.window = 0;
+    EXPECT_THROW((void)gm::run(sc), std::invalid_argument);
+  }
+  {
+    auto sc = wire_scenario();
+    sc.transport = gm::WireTransport::kUdp;
+    sc.workers = 2;  // the real cluster has no parallel engine
+    EXPECT_THROW((void)gm::run(sc), std::invalid_argument);
+  }
+  {
+    auto sc = wire_scenario();
+    sc.workers = 2;
+    sc.latency = geochoice::net::LatencyModel::zero();  // no lookahead
+    EXPECT_THROW((void)gm::run(sc), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioWire, FromArgsParsesWireFlags) {
+  const std::vector<const char*> argv = {
+      "prog",           "--space=chord",       "--model=wire",
+      "--transport=udp", "--latency=lognormal", "--lat-a=0.25",
+      "--lat-b=0.75",   "--window=16",         "--lookups=512",
+      "--workers=3",    "--shards=8"};
+  const gm::ArgParser args(static_cast<int>(argv.size()), argv.data());
+  const auto sc = gm::scenario_from_args(args);
+  EXPECT_EQ(sc.model, gm::ExecModel::kWire);
+  EXPECT_EQ(sc.transport, gm::WireTransport::kUdp);
+  EXPECT_EQ(sc.latency.kind, geochoice::net::LatencyKind::kLognormal);
+  EXPECT_DOUBLE_EQ(sc.latency.a, 0.25);
+  EXPECT_DOUBLE_EQ(sc.latency.b, 0.75);
+  EXPECT_EQ(sc.window, 16u);
+  EXPECT_EQ(sc.lookups, 512u);
+  EXPECT_EQ(sc.workers, 3u);
+  EXPECT_EQ(sc.shards, 8u);
+
+  for (const auto m : {gm::ExecModel::kStructural, gm::ExecModel::kWire}) {
+    EXPECT_EQ(gm::exec_model_from_string(std::string(gm::to_string(m))), m);
+  }
+  for (const auto t : {gm::WireTransport::kSim, gm::WireTransport::kUdp}) {
+    EXPECT_EQ(gm::wire_transport_from_string(std::string(gm::to_string(t))),
+              t);
+  }
+  EXPECT_THROW((void)gm::exec_model_from_string("psychic"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gm::wire_transport_from_string("tcp"),
+               std::invalid_argument);
+}
+
+// The kUdp transport under a serialized window and a deterministic tie is
+// the same allocation the simulator computes: placements depend only on
+// the shared candidate stream and the serial load evolution, so the
+// max-load histogram bit-matches the zero-latency kSim run.
+TEST(ScenarioWire, UdpMaxLoadMatchesTheSimulatorOracle) {
+  gm::Scenario sc;
+  sc.model = gm::ExecModel::kWire;
+  sc.space = gm::SpaceKind::kChordNet;
+  sc.num_servers = 3;
+  sc.num_balls = 48;
+  sc.window = 1;
+  sc.tie = gc::TieBreak::kFirstChoice;
+  sc.lookups = 8;
+  sc.trials = 2;
+  sc.seed = 0x636c7573746572;
+
+  auto udp = sc;
+  udp.transport = gm::WireTransport::kUdp;
+  gm::RunReport real;
+  try {
+    real = gm::run(udp);
+  } catch (const std::system_error& e) {
+    GTEST_SKIP() << "UDP loopback unavailable: " << e.what();
+  }
+
+  auto simulated = sc;
+  simulated.latency = geochoice::net::LatencyModel::zero();
+  const auto oracle = gm::run(simulated);
+
+  EXPECT_EQ(real.max_load, oracle.max_load);
+  EXPECT_EQ(real.wire.malformed, 0u);
+  EXPECT_GT(real.wire.datagrams, 0u);
 }

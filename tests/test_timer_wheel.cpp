@@ -1,0 +1,84 @@
+// test_timer_wheel.cpp — the retransmit alarm clock behind UdpTransport.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/timer_wheel.hpp"
+
+namespace {
+
+using Wheel = geochoice::net::TimerWheel<int>;
+
+TEST(TimerWheel, FiresAtTheDeadlineInTickOrder) {
+  Wheel w;
+  w.schedule(5, 50);
+  w.schedule(2, 20);
+  w.schedule(2, 21);  // same tick: arming order
+  w.schedule(9, 90);
+  std::vector<int> fired;
+  w.advance(6, [&](int v) { fired.push_back(v); });
+  EXPECT_EQ(fired, (std::vector<int>{20, 21, 50}));
+  EXPECT_EQ(w.pending(), 1u);
+  w.advance(9, [&](int v) { fired.push_back(v); });
+  EXPECT_EQ(fired, (std::vector<int>{20, 21, 50, 90}));
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelledTimersNeverFire) {
+  Wheel w;
+  const auto keep = w.schedule(3, 1);
+  const auto drop = w.schedule(3, 2);
+  w.cancel(drop);
+  EXPECT_TRUE(w.armed(keep));
+  EXPECT_FALSE(w.armed(drop));
+  std::vector<int> fired;
+  w.advance(10, [&](int v) { fired.push_back(v); });
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_FALSE(w.armed(keep));  // fired: handle is now stale
+}
+
+TEST(TimerWheel, DeadlinesBeyondOneRevolutionWait) {
+  Wheel w;
+  // One full lap plus three ticks: the entry must park, not fire early.
+  w.schedule(Wheel::kSlots + 3, 7);
+  std::vector<int> fired;
+  w.advance(Wheel::kSlots, [&](int v) { fired.push_back(v); });
+  EXPECT_TRUE(fired.empty());
+  w.advance(Wheel::kSlots + 2, [&](int v) { fired.push_back(v); });
+  EXPECT_TRUE(fired.empty());
+  w.advance(Wheel::kSlots + 3, [&](int v) { fired.push_back(v); });
+  EXPECT_EQ(fired, (std::vector<int>{7}));
+}
+
+TEST(TimerWheel, ZeroDelayFiresOnTheNextAdvance) {
+  Wheel w;
+  w.schedule(0, 4);
+  std::vector<int> fired;
+  w.advance(1, [&](int v) { fired.push_back(v); });
+  EXPECT_EQ(fired, (std::vector<int>{4}));
+}
+
+TEST(TimerWheel, RearmingInsideTheCallbackLandsInTheFuture) {
+  Wheel w;
+  int fires = 0;
+  w.schedule(1, 1);
+  // A retransmit loop: every firing re-arms itself two ticks out.
+  const auto pump = [&](int) {
+    ++fires;
+    w.schedule(2, 1);
+  };
+  for (std::uint64_t t = 1; t <= 9; ++t) w.advance(t, pump);
+  // t=1 fires the original, then t=3,5,7,9 fire the re-armed chain.
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(w.pending(), 1u);
+}
+
+TEST(TimerWheel, StaleCancelThrows) {
+  Wheel w;
+  const auto id = w.schedule(1, 9);
+  w.advance(2, [](int) {});
+  EXPECT_THROW(w.cancel(id), std::logic_error);
+}
+
+}  // namespace
