@@ -19,6 +19,14 @@
 // under a deterministic tie-break. Exits nonzero on any deviation —
 // this is the CI gate for the dispatch table. --quick shrinks sizes to
 // CI-smoke scale (it is the mode CI runs in both compilers).
+//
+// Obs-overhead bench mode:
+//   scenario --bench-obs [--out FILE] [--quick]
+// times the structural front door with the obs registry off vs on-but-
+// idle (--obs semantics, nobody reading) and writes the ratio as
+// `obs_overhead` to FILE (default BENCH_scenario.json); the perf gate
+// floors it at 0.97 in bench/baseline.json.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -26,8 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
+#include "obs/registry.hpp"
 #include "sim/sim.hpp"
 
+namespace gb = geochoice::bench;
 namespace gm = geochoice::sim;
 namespace gc = geochoice::core;
 
@@ -127,12 +138,84 @@ int run_matrix(bool quick) {
   return 0;
 }
 
+int run_bench_obs(const std::string& out_path, bool quick) {
+  gm::Scenario sc;
+  sc.space = gm::SpaceKind::kRing;
+  sc.engine = gm::Engine::kScalar;
+  sc.num_servers = quick ? 1u << 9 : 1u << 12;
+  sc.num_balls = quick ? 1u << 14 : 1u << 17;
+  sc.trials = quick ? 4 : 8;
+  sc.threads = 1;  // serial trials: the ratio measures the hot loop, not
+                   // pool scheduling noise
+  sc.seed = 0x6f62736f76686421ULL;
+  const std::uint64_t items = sc.balls() * sc.trials;
+  const int warmup = 1;
+  const int reps = quick ? 5 : 7;
+
+  // Machine drift on shared runners swamps the ~1% effect a single A/B
+  // comparison sees, so the ratio is the median of three interleaved
+  // off/on pairs: each pair compares adjacent runs (drift cancels) and
+  // the median rejects an outlier pair.
+  const auto run_once = [&] {
+    if (gm::run(sc).max_load.total() == 0) std::abort();
+  };
+  double ratios[3];
+  gb::Measurement off, on;
+  for (std::size_t p = 0; p < std::size(ratios); ++p) {
+    sc.obs = false;
+    off = gb::measure("Scenario/structural", 0, items, p == 0 ? warmup : 0,
+                      reps, run_once);
+    sc.obs = true;
+    on = gb::measure("Scenario/structural+obs", 0, items, 0, reps, run_once);
+    ratios[p] = on.items_per_sec / off.items_per_sec;
+  }
+  std::sort(std::begin(ratios), std::end(ratios));
+  const double obs_overhead =
+      geochoice::obs::compiled_in() ? ratios[1] : 1.0;
+
+  std::printf("%-28s %15s %12s\n", "benchmark", "balls/sec", "ns/ball");
+  for (const auto& r : {off, on}) {
+    std::printf("%-28s %15.0f %12.2f\n", r.name.c_str(), r.items_per_sec,
+                r.ns_per_item);
+  }
+  std::printf("\nobs enabled / obs off : %.3fx\n", obs_overhead);
+
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"scenario_obs\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"config\": {\"space\": \"ring\", \"n\": %llu, "
+                "\"m\": %llu, \"trials\": %llu, \"quick\": %s},\n",
+                static_cast<unsigned long long>(sc.num_servers),
+                static_cast<unsigned long long>(sc.balls()),
+                static_cast<unsigned long long>(sc.trials),
+                quick ? "true" : "false");
+  json += buf;
+  json += "  \"results\": [\n";
+  gb::append_json(json, off, "ball", /*with_threads=*/false, false);
+  gb::append_json(json, on, "ball", /*with_threads=*/false, true);
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf), "  \"obs_overhead\": %.4f\n}\n",
+                obs_overhead);
+  json += buf;
+  return gb::write_json_or_fail(out_path, json);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const gm::ArgParser args(argc, argv);
   const bool matrix = args.has("matrix");
   const bool quick = args.has("quick");
+  if (args.has("bench-obs")) {
+    const std::string out = args.get_string("out", "BENCH_scenario.json");
+    for (const auto& flag : args.unused()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+      return 2;
+    }
+    return run_bench_obs(out, quick);
+  }
   gm::Scenario sc;
   std::string csv_path, json_path;
   if (!matrix) {

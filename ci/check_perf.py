@@ -8,12 +8,16 @@ well under the reference values measured at development time ("tolerance"),
 so cross-machine noise does not flake the gate while a real regression —
 say the torus batch path sliding back to ~1.0x — still fails loudly.
 
+Every tripped metric reports its name, measured value, floor, and percent
+margin ((value - floor) / floor); --verbose prints the same detail for
+passing metrics, so a close call is visible before it becomes a failure.
+
 Usage:
-  check_perf.py RESULTS_JSON BASELINE_JSON   # gate RESULTS against floors
+  check_perf.py [--verbose] RESULTS_JSON BASELINE_JSON
   check_perf.py --self-test BASELINE_JSON    # prove the gate can fail: for
         every gated file, synthesize results regressed below the floors and
-        assert the comparison rejects them (the "injected regression" dry
-        run, kept green in CI forever)
+        assert both the rejection and the failure-message format (value,
+        floor, and an exact -50.0% margin for the injected halving)
 
 baseline.json schema:
   {"files": {"<results filename>": {"<metric>": {
@@ -24,6 +28,7 @@ baseline.json schema:
 """
 import json
 import os
+import re
 import sys
 
 
@@ -32,7 +37,12 @@ def load(path):
         return json.load(f)
 
 
-def check(results, gates, label):
+def margin_pct(value, floor):
+    """Percent headroom above the floor (negative = below it)."""
+    return (value - floor) / floor * 100.0
+
+
+def check(results, gates, label, verbose=False):
     """Return a list of failure strings for one results dict."""
     failures = []
     hw = results.get("hw_threads")
@@ -48,17 +58,31 @@ def check(results, gates, label):
             continue
         floor = gate["min"]
         ref = gate.get("reference")
-        status = "ok" if value >= floor else "REGRESSION"
-        print(f"  {status:>10} {label}:{metric} = {value:.3f} "
-              f"(floor {floor:.3f}, reference {ref})")
-        if value < floor:
-            failures.append(
-                f"{label}: {metric} = {value:.3f} below floor {floor:.3f}")
+        margin = margin_pct(value, floor)
+        tripped = value < floor
+        status = "REGRESSION" if tripped else "ok"
+        detail = (f"{label}:{metric} = {value:.3f} (floor {floor:.3f}, "
+                  f"margin {margin:+.1f}%, reference {ref})")
+        if tripped or verbose:
+            print(f"  {status:>10} {detail}")
+        else:
+            print(f"  {status:>10} {label}:{metric} = {value:.3f} "
+                  f"(floor {floor:.3f})")
+        if tripped:
+            failures.append(f"{label}: {detail}")
     return failures
 
 
+# What every failure line must look like; --self-test holds check() to it
+# so a reformat cannot silently drop the value/floor/margin detail CI logs
+# are grepped for.
+FAILURE_RE = re.compile(
+    r"^\S+: \S+ = -?\d+\.\d{3} \(floor -?\d+\.\d{3}, "
+    r"margin [+-]\d+\.\d%, reference .*\)$")
+
+
 def self_test(baseline):
-    """Inject regressions and assert the gate fails on every one of them."""
+    """Inject regressions and assert the gate fails with the right words."""
     print("self-test: injecting regressions below every floor")
     total = 0
     for fname, gates in baseline["files"].items():
@@ -70,18 +94,31 @@ def self_test(baseline):
             print(f"self-test FAILED: {fname} flagged {len(failures)} of "
                   f"{expected} injected regressions")
             return 1
+        for line in failures:
+            if not FAILURE_RE.match(line):
+                print(f"self-test FAILED: malformed failure line: {line!r}")
+                return 1
+            # Halving the floor is exactly 50% under it; the margin in the
+            # message must say so.
+            if "margin -50.0%" not in line:
+                print("self-test FAILED: expected margin -50.0% in: "
+                      f"{line!r}")
+                return 1
         total += expected
-    print(f"self-test passed: all {total} injected regressions were caught")
+    print(f"self-test passed: all {total} injected regressions were caught "
+          "and correctly formatted")
     return 0
 
 
 def main(argv):
-    if len(argv) == 3 and argv[1] == "--self-test":
-        return self_test(load(argv[2]))
-    if len(argv) != 3:
+    args = [a for a in argv[1:] if a != "--verbose"]
+    verbose = len(args) != len(argv) - 1
+    if len(args) == 2 and args[0] == "--self-test":
+        return self_test(load(args[1]))
+    if len(args) != 2:
         print(__doc__)
         return 2
-    results_path, baseline_path = argv[1], argv[2]
+    results_path, baseline_path = args
     results = load(results_path)
     baseline = load(baseline_path)
     fname = os.path.basename(results_path)
@@ -90,7 +127,7 @@ def main(argv):
         print(f"no gates for '{fname}' in {baseline_path}")
         return 2
     print(f"perf gate: {results_path} vs {baseline_path}")
-    failures = check(results, gates, fname)
+    failures = check(results, gates, fname, verbose=verbose)
     if failures:
         print("\nPERF GATE FAILED:")
         for f in failures:

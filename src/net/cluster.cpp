@@ -33,10 +33,13 @@ ClusterResult run_loopback_cluster(const ClusterConfig& cfg) {
   }
   for (auto& t : transports) t->set_peers(peers);
 
+  // Every node shares the driver's recorder: the pump is single-threaded,
+  // so one ring buffer can hold the whole cluster's lifecycle stream.
   std::vector<NodeLogic<UdpTransport>> nodes;
   nodes.reserve(cfg.nodes);
   for (std::size_t i = 0; i < cfg.nodes; ++i) {
-    nodes.emplace_back(ring, static_cast<std::uint32_t>(i), *transports[i]);
+    nodes.emplace_back(ring, static_cast<std::uint32_t>(i), *transports[i],
+                       cfg.driver.trace);
   }
   ClientDriver<UdpTransport> driver(ring, cfg.driver, *transports[0]);
 

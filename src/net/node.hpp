@@ -47,6 +47,7 @@
 #include "net/message.hpp"
 #include "net/protocol.hpp"
 #include "net/sim_core.hpp"
+#include "obs/trace.hpp"
 #include "rng/streams.hpp"
 #include "stats/p2_quantile.hpp"
 #include "stats/summary.hpp"
@@ -59,10 +60,12 @@ template <typename Transport>
 class NodeLogic {
  public:
   /// `ring` must have finger tables built; every process derives the
-  /// identical ring from the shared (seed, trial).
+  /// identical ring from the shared (seed, trial). `trace` (optional, not
+  /// owned) records forwarded/delivered lifecycle events — the same
+  /// schema SimCore emits, so sim and UDP traces line up in Perfetto.
   NodeLogic(const dht::ChordRing& ring, std::uint32_t self,
-            Transport& transport)
-      : ring_(&ring), self_(self), transport_(&transport) {}
+            Transport& transport, obs::TraceRecorder* trace = nullptr)
+      : ring_(&ring), self_(self), transport_(&transport), trace_(trace) {}
 
   /// Handle one request datagram (kProbe / kPlace / kLookup). Reply
   /// types are the client's business — route them to a ClientDriver.
@@ -71,6 +74,7 @@ class NodeLogic {
       case MsgType::kProbe: {
         Message m = msg;
         if (!route(m)) return;
+        trace_event(obs::TracePhase::kDelivered, m);
         transport_->send(protocol::make_probe_reply(m, load_));
         return;
       }
@@ -80,6 +84,7 @@ class NodeLogic {
       case MsgType::kLookup: {
         Message m = msg;
         if (!route(m)) return;
+        trace_event(obs::TracePhase::kDelivered, m);
         transport_->send(protocol::make_lookup_reply(m));
         return;
       }
@@ -103,11 +108,28 @@ class NodeLogic {
     m.from = self_;
     ++m.hops;
     m.at = ring_->next_hop(self_, m.key);
+    trace_event(obs::TracePhase::kForwarded, m);
     transport_->send(m);
     return false;
   }
 
+  void trace_event(obs::TracePhase phase, const Message& m) {
+    if (trace_ == nullptr) return;
+    obs::TraceRecord r;
+    r.ts_us = static_cast<double>(transport_->now_us());
+    r.op = m.op;
+    r.node = self_;
+    r.from = m.from;
+    r.client = m.client;
+    r.hops = m.hops;
+    r.load = m.load;
+    r.phase = phase;
+    r.msg_type = static_cast<std::uint8_t>(m.type);
+    trace_->record(r);
+  }
+
   void on_place(const Message& m) {
+    trace_event(obs::TracePhase::kDelivered, m);
     // At-most-once: a retransmitted kPlace (its ack was lost) must not
     // count the key twice — resend the ack and change nothing.
     const std::uint64_t key = op_key(m.client, m.op);
@@ -140,6 +162,7 @@ class NodeLogic {
   const dht::ChordRing* ring_;
   std::uint32_t self_;
   Transport* transport_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::uint32_t load_ = 0;
   std::uint64_t stale_ = 0;
   std::unordered_set<std::uint64_t> placed_;
@@ -156,7 +179,16 @@ struct DriverReport {
   std::uint32_t max_load = 0;
   std::uint64_t inserts = 0;
   std::uint64_t lookups = 0;
-  std::uint64_t retransmits = 0;
+  /// Workload datagrams resent after a retransmit alarm (probe, place,
+  /// lookup phases): actual suspected loss on the data path.
+  std::uint64_t data_retransmits = 0;
+  /// Census probes re-issued after their alarm. The census is a read-only
+  /// poll of one node at a time — a retry costs a probe round-trip, never
+  /// a duplicate placement — so it is accounted apart from data loss.
+  std::uint64_t census_retries = 0;
+  [[nodiscard]] std::uint64_t total_retransmits() const noexcept {
+    return data_retransmits + census_retries;
+  }
   stats::RunningStats insert_latency_us;
   stats::RunningStats lookup_latency_us;
   stats::P2QuantileSet insert_latency_us_q{{0.5, 0.9, 0.99}};
@@ -175,6 +207,9 @@ struct DriverConfig {
   /// it exists so a dropped datagram stalls an op for milliseconds, not
   /// forever.
   std::uint64_t retransmit_ms = 50;
+  /// Optional message-lifecycle recorder (not owned, may be null); the
+  /// driver records scheduled/delivered/retransmitted events into it.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// The client half: drives the workload, then reads every node's final
@@ -257,17 +292,18 @@ class ClientDriver {
       case MsgType::kLookup: {
         LookupOp* op = lookup_ops_.try_get(LookupPool::Handle::unpack(t.slot));
         if (op == nullptr || op->op != t.op) return;
-        ++report_.retransmits;
-        transport_->send(protocol::make_lookup(self(), op->op, op->key,
-                                               ring_->successor(op->key),
-                                               t.slot));
+        ++report_.data_retransmits;
+        const Message resend = protocol::make_lookup(
+            self(), op->op, op->key, ring_->successor(op->key), t.slot);
+        trace_event(obs::TracePhase::kRetransmit, resend);
+        transport_->send(resend);
         op->timer = transport_->schedule(cfg_.retransmit_ms, t);
         return;
       }
       case MsgType::kProbeReply:  // the census alarm
         if (census_got_ < ring_->node_count() &&
             census_next_ > census_got_) {
-          ++report_.retransmits;
+          ++report_.census_retries;
           send_census(census_got_);
           arm_census_timer();
         }
@@ -305,6 +341,21 @@ class ClientDriver {
     return transport_->self();
   }
 
+  void trace_event(obs::TracePhase phase, const Message& m) {
+    if (cfg_.trace == nullptr) return;
+    obs::TraceRecord r;
+    r.ts_us = static_cast<double>(transport_->now_us());
+    r.op = m.op;
+    r.node = m.at;
+    r.from = self();
+    r.client = m.client;
+    r.hops = m.hops;
+    r.load = m.load;
+    r.phase = phase;
+    r.msg_type = static_cast<std::uint8_t>(m.type);
+    cfg_.trace->record(r);
+  }
+
   void advance() {
     while (insert_ops_.live() < cfg_.window && next_insert_ < cfg_.inserts) {
       issue_insert();
@@ -340,9 +391,11 @@ class ClientDriver {
     const std::uint64_t slot = handle.pack();
     for (int j = 0; j < cfg_.choices; ++j) {
       const double key = live.key[static_cast<std::size_t>(j)];
-      transport_->send(protocol::make_probe(self(), op_id,
-                                            static_cast<std::uint8_t>(j), key,
-                                            ring_->successor(key), slot));
+      const Message m = protocol::make_probe(
+          self(), op_id, static_cast<std::uint8_t>(j), key,
+          ring_->successor(key), slot);
+      trace_event(obs::TracePhase::kScheduled, m);
+      transport_->send(m);
     }
     Message alarm;
     alarm.type = MsgType::kProbe;
@@ -359,8 +412,10 @@ class ClientDriver {
     rec.key = rng::uniform01(candidates_);
     const auto handle = lookup_ops_.emplace(rec);
     const std::uint64_t slot = handle.pack();
-    transport_->send(protocol::make_lookup(self(), op_id, rec.key,
-                                           ring_->successor(rec.key), slot));
+    const Message m = protocol::make_lookup(self(), op_id, rec.key,
+                                            ring_->successor(rec.key), slot);
+    trace_event(obs::TracePhase::kScheduled, m);
+    transport_->send(m);
     Message alarm;
     alarm.type = MsgType::kLookup;
     alarm.op = op_id;
@@ -370,21 +425,24 @@ class ClientDriver {
   }
 
   void resend_insert(const InsertOp& op, std::uint64_t slot) {
-    ++report_.retransmits;
+    ++report_.data_retransmits;
     if (op.phase == Phase::kProbing) {
       for (int j = 0; j < cfg_.choices; ++j) {
         if (op.replied & (1u << j)) continue;  // that reply already landed
         const double key = op.key[static_cast<std::size_t>(j)];
-        transport_->send(protocol::make_probe(self(), op.op,
-                                              static_cast<std::uint8_t>(j),
-                                              key, ring_->successor(key),
-                                              slot));
+        const Message m = protocol::make_probe(
+            self(), op.op, static_cast<std::uint8_t>(j), key,
+            ring_->successor(key), slot);
+        trace_event(obs::TracePhase::kRetransmit, m);
+        transport_->send(m);
       }
     } else {
       const auto bs = static_cast<std::size_t>(op.best);
-      transport_->send(protocol::make_place(
+      const Message m = protocol::make_place(
           self(), op.op, static_cast<std::uint8_t>(op.best), op.owner[bs],
-          op.load[bs], slot));
+          op.load[bs], slot);
+      trace_event(obs::TracePhase::kRetransmit, m);
+      transport_->send(m);
     }
   }
 
@@ -417,6 +475,7 @@ class ClientDriver {
     InsertOp* op = insert_ops_.try_get(h);
     if (op == nullptr || op->op != m.op) return;  // duplicate ack
     if (op->phase != Phase::kPlacing) return;     // ack without a place?
+    trace_event(obs::TracePhase::kDelivered, m);
     if (transport_->armed(op->timer)) transport_->cancel(op->timer);
     const double us = static_cast<double>(transport_->now_us() - op->start_us);
     report_.insert_latency_us.add(us);
@@ -430,6 +489,7 @@ class ClientDriver {
     const auto h = LookupPool::Handle::unpack(m.slot);
     LookupOp* op = lookup_ops_.try_get(h);
     if (op == nullptr || op->op != m.op) return;  // duplicate reply
+    trace_event(obs::TracePhase::kDelivered, m);
     if (transport_->armed(op->timer)) transport_->cancel(op->timer);
     const double us = static_cast<double>(transport_->now_us() - op->start_us);
     report_.lookup_latency_us.add(us);

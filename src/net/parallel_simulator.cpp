@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/simulator.hpp"
+#include "obs/obs.hpp"
 #include "parallel/shard_queues.hpp"
 
 namespace geochoice::net {
@@ -38,17 +39,36 @@ NetMetrics ParallelNetSimulator::simulate(const NetConfig& cfg,
 
 void ParallelNetSimulator::finish_window() {
   if (fills_pending_ == 0) return;
+  deferred_fills_ += fills_pending_;
   const std::size_t workers = crew_.worker_count();
-  crew_.run([this, workers](std::size_t w) {
-    const std::uint32_t lo = parallel::shard_begin(w, shards_, workers);
-    const std::uint32_t hi = parallel::shard_begin(w + 1, shards_, workers);
-    for (std::uint32_t s = lo; s < hi; ++s) {
-      for (const FillTask& task : mailboxes_[s]) {
-        Message& m = queue().payload(task.ticket);
-        m.at = ring_->next_hop(task.from, m.key);
+  {
+    // Barrier wait + fill resolution, as seen by the sequencer. The crew
+    // never touches obs state: spans and trace records stay on this
+    // thread.
+    static const obs::Timer barrier_timer("parallel.barrier");
+    obs::Span span(barrier_timer);
+    crew_.run([this, workers](std::size_t w) {
+      const std::uint32_t lo = parallel::shard_begin(w, shards_, workers);
+      const std::uint32_t hi = parallel::shard_begin(w + 1, shards_, workers);
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        for (const FillTask& task : mailboxes_[s]) {
+          Message& m = queue().payload(task.ticket);
+          m.at = ring_->next_hop(task.from, m.key);
+        }
+      }
+    });
+  }
+  if (cfg_.trace != nullptr) {
+    // Resolved hops, recorded after the barrier so `at` is final. The
+    // barrier runs at the window's end; the last executed event's time is
+    // the sequencer clock at that point.
+    for (const auto& box : mailboxes_) {
+      for (const FillTask& task : box) {
+        trace_msg(metrics_.end_time, obs::TracePhase::kDeferredFill,
+                  queue().payload(task.ticket));
       }
     }
-  });
+  }
   for (auto& box : mailboxes_) box.clear();  // keep capacity
   fills_pending_ = 0;
 }
@@ -62,12 +82,24 @@ NetMetrics ParallelNetSimulator::run() {
   // t + delay >= t + lookahead >= window end, so its fill always lands
   // before the pop that needs it.
   MessageQueue::Event e;
+  static const obs::Histogram window_occupancy(
+      "parallel.window_events",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
   while (!queue().empty() && budget_left()) {
     const SimTime bound = queue().min_time() + lookahead_;
+    const std::uint64_t before = metrics_.events;
     while (budget_left() && queue().pop_before(bound, e)) {
       execute(e);
     }
+    ++windows_;
+    window_occupancy.observe(static_cast<double>(metrics_.events - before));
     finish_window();
+  }
+  if (obs::enabled()) {
+    static const obs::Counter c_windows("parallel.windows");
+    static const obs::Counter c_fills("parallel.deferred_fills");
+    c_windows.add(windows_);
+    c_fills.add(deferred_fills_);
   }
   return finish();
 }

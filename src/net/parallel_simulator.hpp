@@ -84,6 +84,17 @@ class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
   }
   [[nodiscard]] std::uint32_t shard_count() const noexcept { return shards_; }
 
+  /// Conservative windows executed (outer drive-loop iterations). Like
+  /// every SimCore observable, a pure function of (seed, config) — the
+  /// same at any worker/shard count.
+  [[nodiscard]] std::uint64_t window_count() const noexcept {
+    return windows_;
+  }
+  /// Next-hop fills resolved at window barriers (one per forwarded hop).
+  [[nodiscard]] std::uint64_t deferred_fill_count() const noexcept {
+    return deferred_fills_;
+  }
+
  private:
   friend class SimCore<ParallelNetSimulator>;
 
@@ -117,6 +128,8 @@ class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
   std::vector<std::vector<FillTask>> mailboxes_;  // one per shard
   std::size_t fills_pending_ = 0;
   double lookahead_ = 0.0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t deferred_fills_ = 0;
 };
 
 }  // namespace geochoice::net

@@ -52,6 +52,8 @@
 #include "net/message.hpp"
 #include "net/protocol.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "rng/streams.hpp"
 #include "stats/p2_quantile.hpp"
 #include "stats/summary.hpp"
@@ -86,6 +88,10 @@ struct NetConfig {
   /// including in-flight operations — unexecuted. 0 means run to drain.
   /// Bounded runs are how tests tear the simulator down mid-flight.
   std::uint64_t max_events = 0;
+  /// Optional message-lifecycle recorder (obs/trace.hpp); not owned, may
+  /// be null. Recording reads message fields only — no RNG, no ordering
+  /// effect — so golden trace hashes are identical with or without it.
+  obs::TraceRecorder* trace = nullptr;
 
   [[nodiscard]] std::uint64_t insert_count() const noexcept {
     return keys == 0 ? static_cast<std::uint64_t>(nodes) : keys;
@@ -235,10 +241,28 @@ class SimCore {
         rng::uniform_below(clients_, ring_->node_count()));
   }
 
+  /// Record one lifecycle observation for `m` (no-op without a recorder).
+  /// Simulator time is abstract; one time unit renders as one millisecond
+  /// in the exported trace (ts is microseconds).
+  void trace_msg(SimTime now, obs::TracePhase phase, const Message& m) {
+    obs::TraceRecord r;
+    r.ts_us = now * 1000.0;
+    r.op = m.op;
+    r.node = m.at;
+    r.from = m.from;
+    r.client = m.client;
+    r.hops = m.hops;
+    r.load = m.load;
+    r.phase = phase;
+    r.msg_type = static_cast<std::uint8_t>(m.type);
+    cfg_.trace->record(r);
+  }
+
   /// Schedule `m` across one link through the transport seam. Returns the
   /// queue ticket so a deferring engine can fill the payload later; the
   /// sequential engine ignores it.
   MessageQueue::Ticket send_link(SimTime now, const Message& m) {
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kScheduled, m);
     return transport_.send(now, m);
   }
 
@@ -302,12 +326,14 @@ class SimCore {
     }
     m.from = here;
     ++m.hops;
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kForwarded, m);
     derived().forward_hop(now, m, here);
     return false;
   }
 
   void on_probe(SimTime now, Message m) {
     if (!route_toward(now, m, m.dest)) return;
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
     send_link(now, protocol::make_probe_reply(m, loads_[m.at]));
   }
 
@@ -334,6 +360,7 @@ class SimCore {
   }
 
   void on_place(SimTime now, const Message& m) {
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
     const std::uint32_t here = m.at;
     if (loads_[here] != m.load) ++metrics_.stale_reads;
     const std::uint32_t new_load = ++loads_[here];
@@ -354,6 +381,7 @@ class SimCore {
 
   void on_lookup(SimTime now, Message m) {
     if (!route_toward(now, m, m.dest)) return;
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
     send_link(now, protocol::make_lookup_reply(m));
   }
 
@@ -418,6 +446,9 @@ class SimCore {
     detail::fold(metrics_.trace_hash, detail::bits(e.payload.key));
     detail::fold(metrics_.trace_hash, e.payload.load);
     if (cfg_.collect_trace) trace_.push_back({e.time, e.seq, e.payload});
+    if (cfg_.trace != nullptr) {
+      trace_msg(e.time, obs::TracePhase::kPopped, e.payload);
+    }
     on_event(e.time, e.payload);
   }
 
@@ -437,11 +468,27 @@ class SimCore {
   }
 
   /// Snapshot final per-node loads, pull the wire cost out of the
-  /// transport, and hand the metrics out.
+  /// transport, and hand the metrics out. Registry counters are added in
+  /// one bulk pass here — never per event — so an enabled-but-idle run
+  /// costs a handful of adds per trial (the obs_overhead gate).
   NetMetrics finish() {
     metrics_.links = transport_.links().total;
     metrics_.links_by_type = transport_.links().by_type;
     metrics_.loads = loads_;
+    if (obs::enabled()) {
+      static const obs::Counter c_events("net.events");
+      static const obs::Counter c_links("net.links");
+      static const obs::Counter c_inserts("net.inserts");
+      static const obs::Counter c_lookups("net.lookups");
+      static const obs::Counter c_probe_hops("net.probe_hops");
+      static const obs::Counter c_stale("net.stale_reads");
+      c_events.add(metrics_.events);
+      c_links.add(metrics_.links);
+      c_inserts.add(metrics_.inserts);
+      c_lookups.add(metrics_.lookups);
+      c_probe_hops.add(metrics_.probe_hops);
+      c_stale.add(metrics_.stale_reads);
+    }
     return metrics_;
   }
 

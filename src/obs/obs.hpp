@@ -1,0 +1,11 @@
+// obs.hpp — umbrella for the observability layer: registry metrics
+// (counters/gauges/histograms/timers), RAII spans, and the message
+// lifecycle trace recorder. See each header for the contracts; the short
+// version: zero cost when GEOCHOICE_OBS=OFF, one relaxed-atomic branch
+// when compiled in but not enabled, and never any RNG or event-ordering
+// effect — golden trace hashes hold with everything switched on.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"

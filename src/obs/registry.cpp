@@ -1,0 +1,235 @@
+#include "obs/registry.hpp"
+
+#if defined(GEOCHOICE_OBS_ENABLED)
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace geochoice::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// All mutable registry state lives here. Sinks are owned for the life of
+// the process (a dead thread's cells stay readable; a new thread gets a
+// fresh sink), so the thread_local cache can be a raw pointer with no
+// retirement protocol. Descriptors live in deques: push_back never moves
+// existing elements, so hot-path reads of registered descriptors need no
+// lock.
+struct Registry::Impl {
+  std::mutex mu;
+  std::deque<Desc> descs;
+  std::deque<HistogramDesc> hists;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  std::size_t next_u64 = 0;
+  std::size_t next_f64 = 0;
+  std::size_t next_gauge = 0;
+  std::atomic<double> gauges[kMaxGauges] = {};
+  std::atomic<std::uint64_t> gauge_writes[kMaxGauges] = {};
+};
+
+Registry::Impl& Registry::impl() {
+  static Impl i;
+  return i;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Registry::Sink& Registry::local_sink() {
+  thread_local Sink* cache = nullptr;
+  if (cache == nullptr) {
+    auto sink = std::make_unique<Sink>();
+    for (auto& c : sink->u64) c.store(0, std::memory_order_relaxed);
+    for (auto& c : sink->f64) c.store(0.0, std::memory_order_relaxed);
+    cache = sink.get();
+    std::lock_guard<std::mutex> lock(impl().mu);
+    impl().sinks.push_back(std::move(sink));
+  }
+  return *cache;
+}
+
+namespace {
+
+[[noreturn]] void throw_full(std::string_view name) {
+  throw std::invalid_argument("obs::Registry: cell arrays exhausted at '" +
+                              std::string(name) + "'");
+}
+
+[[noreturn]] void throw_kind(std::string_view name) {
+  throw std::invalid_argument("obs::Registry: metric '" + std::string(name) +
+                              "' re-registered with a different kind");
+}
+
+}  // namespace
+
+std::size_t Registry::counter_cell(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const Desc& d : im.descs) {
+    if (d.name == name) {
+      if (d.kind != MetricKind::kCounter) throw_kind(name);
+      return d.cell;
+    }
+  }
+  if (im.next_u64 >= kMaxU64Cells) throw_full(name);
+  const std::size_t cell = im.next_u64++;
+  im.descs.push_back(Desc{std::string(name), MetricKind::kCounter, cell,
+                          nullptr});
+  return cell;
+}
+
+std::size_t Registry::gauge_slot(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const Desc& d : im.descs) {
+    if (d.name == name) {
+      if (d.kind != MetricKind::kGauge) throw_kind(name);
+      return d.cell;
+    }
+  }
+  if (im.next_gauge >= kMaxGauges) throw_full(name);
+  const std::size_t slot = im.next_gauge++;
+  im.descs.push_back(Desc{std::string(name), MetricKind::kGauge, slot,
+                          nullptr});
+  return slot;
+}
+
+const Registry::HistogramDesc* Registry::histogram_desc(
+    std::string_view name, std::vector<double> bounds) {
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument("obs::Registry: histogram '" +
+                                std::string(name) + "' bounds not ascending");
+  }
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const Desc& d : im.descs) {
+    if (d.name == name) {
+      if (d.kind != MetricKind::kHistogram) throw_kind(name);
+      return d.hist;
+    }
+  }
+  const std::size_t cells = bounds.size() + 1;
+  if (im.next_u64 + cells > kMaxU64Cells || im.next_f64 >= kMaxF64Cells) {
+    throw_full(name);
+  }
+  im.hists.push_back(
+      HistogramDesc{im.next_u64, im.next_f64, std::move(bounds)});
+  im.next_u64 += cells;
+  ++im.next_f64;
+  im.descs.push_back(Desc{std::string(name), MetricKind::kHistogram, 0,
+                          &im.hists.back()});
+  return &im.hists.back();
+}
+
+void Registry::add(std::size_t cell, std::uint64_t delta) noexcept {
+  if (cell >= kMaxU64Cells) return;
+  auto& c = local_sink().u64[cell];
+  // Owner-thread exclusive: plain load+store beats an RMW on the hot path.
+  c.store(c.load(std::memory_order_relaxed) + delta,
+          std::memory_order_relaxed);
+}
+
+void Registry::set_gauge(std::size_t slot, double value) noexcept {
+  if (slot >= kMaxGauges) return;
+  Impl& im = impl();
+  im.gauges[slot].store(value, std::memory_order_relaxed);
+  im.gauge_writes[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::observe(const HistogramDesc* desc, double value) noexcept {
+  if (desc == nullptr) return;
+  const auto it =
+      std::lower_bound(desc->bounds.begin(), desc->bounds.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(it - desc->bounds.begin());
+  Sink& sink = local_sink();
+  auto& c = sink.u64[desc->first_cell + bucket];
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  auto& s = sink.f64[desc->sum_cell];
+  s.store(s.load(std::memory_order_relaxed) + value,
+          std::memory_order_relaxed);
+}
+
+std::vector<MetricValue> Registry::snapshot() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto sum_u64 = [&](std::size_t cell) {
+    std::uint64_t total = 0;
+    for (const auto& sink : im.sinks) {
+      total += sink->u64[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  const auto sum_f64 = [&](std::size_t cell) {
+    double total = 0.0;
+    for (const auto& sink : im.sinks) {
+      total += sink->f64[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  std::vector<MetricValue> out;
+  out.reserve(im.descs.size());
+  for (const Desc& d : im.descs) {
+    MetricValue v;
+    v.name = d.name;
+    v.kind = d.kind;
+    switch (d.kind) {
+      case MetricKind::kCounter:
+        v.count = sum_u64(d.cell);
+        v.value = static_cast<double>(v.count);
+        break;
+      case MetricKind::kGauge:
+        v.count = im.gauge_writes[d.cell].load(std::memory_order_relaxed);
+        v.value = im.gauges[d.cell].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        v.bounds = d.hist->bounds;
+        v.buckets.resize(v.bounds.size() + 1);
+        for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+          v.buckets[b] = sum_u64(d.hist->first_cell + b);
+          v.count += v.buckets[b];
+        }
+        v.value = sum_f64(d.hist->sum_cell);
+        break;
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void Registry::reset() noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& sink : im.sinks) {
+    for (auto& c : sink->u64) c.store(0, std::memory_order_relaxed);
+    for (auto& c : sink->f64) c.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& g : im.gauges) g.store(0.0, std::memory_order_relaxed);
+  for (auto& g : im.gauge_writes) g.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace geochoice::obs
+
+#else  // !GEOCHOICE_OBS_ENABLED
+
+// Keep the TU non-empty so the static library always has this object.
+namespace geochoice::obs {
+namespace {
+[[maybe_unused]] constexpr int kObsCompiledOut = 1;
+}
+}  // namespace geochoice::obs
+
+#endif  // GEOCHOICE_OBS_ENABLED

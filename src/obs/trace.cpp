@@ -1,0 +1,67 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace geochoice::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+std::size_t TraceRecorder::size() const noexcept {
+  return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                               : ring_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void TraceRecorder::clear() noexcept { total_ = 0; }
+
+std::vector<TraceRecord> TraceRecorder::records() const {
+  std::vector<TraceRecord> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  // When the ring wrapped, the oldest record is the next overwrite slot.
+  const std::size_t start =
+      total_ > ring_.size() ? static_cast<std::size_t>(total_ % ring_.size())
+                            : 0;
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json(
+    const std::vector<std::string>& type_names) const {
+  const auto name_of = [&](std::uint8_t t) -> const char* {
+    return t < type_names.size() ? type_names[t].c_str() : "?";
+  };
+  std::string out = "{\"traceEvents\": [";
+  char buf[320];
+  bool first = true;
+  for (const TraceRecord& r : records()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n  {\"name\": \"%s %s\", \"cat\": \"net\", \"ph\": \"i\", "
+        "\"ts\": %.3f, \"pid\": 0, \"tid\": %u, \"s\": \"t\", "
+        "\"args\": {\"op\": %llu, \"from\": %u, \"client\": %u, "
+        "\"hops\": %u, \"load\": %u}}",
+        first ? "" : ",", name_of(r.msg_type), to_string(r.phase), r.ts_us,
+        r.node, static_cast<unsigned long long>(r.op), r.from, r.client,
+        r.hops, r.load);
+    out += buf;
+    first = false;
+  }
+  out += "\n]";
+  if (dropped() > 0) {
+    std::snprintf(buf, sizeof(buf), ",\n\"geochoiceDroppedRecords\": %llu",
+                  static_cast<unsigned long long>(dropped()));
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace geochoice::obs

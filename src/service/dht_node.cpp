@@ -21,7 +21,11 @@
 //
 // Flags (shared): --nodes, --port-base, --seed, --trial, --choices,
 // --tie (first|lowest|random), --keys, --lookups, --window,
-// --retransmit-ms, --timeout-ms.
+// --retransmit-ms, --timeout-ms, --heartbeat-ms (0 = off).
+//
+// Observability: with --heartbeat-ms=N every process prints a one-line
+// stats heartbeat to stderr every N ms of transport time; SIGUSR1 dumps
+// the same line immediately (servers and the driver both install it).
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -45,8 +49,10 @@ namespace {
 using namespace geochoice;
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void on_signal(int) { g_stop = 1; }
+void on_dump(int) { g_dump = 1; }
 
 struct Options {
   std::size_t nodes = 4;
@@ -61,7 +67,22 @@ struct Options {
   core::TieBreak tie = core::TieBreak::kFirstChoice;
   std::uint64_t retransmit_ms = 50;
   std::uint64_t timeout_ms = 60'000;
+  std::uint64_t heartbeat_ms = 0;  // 0 = no periodic stats line
 };
+
+/// One stats line on stderr — the heartbeat body and the SIGUSR1 dump.
+/// stderr so cluster mode's parsed stdout report stays clean.
+void print_stats(const char* why, std::uint32_t id,
+                 const net::UdpTransport& transport, std::uint64_t stored) {
+  std::fprintf(stderr,
+               "dht_node[%u] %s: t=%llums datagrams_out=%llu "
+               "malformed=%llu keys_stored=%llu\n",
+               id, why,
+               static_cast<unsigned long long>(transport.now_ms()),
+               static_cast<unsigned long long>(transport.links().total),
+               static_cast<unsigned long long>(transport.malformed()),
+               static_cast<unsigned long long>(stored));
+}
 
 dht::ChordRing make_ring(const Options& opt) {
   auto gen = rng::make_stream(opt.seed, opt.trial,
@@ -91,10 +112,21 @@ int serve(const Options& opt) {
   net::NodeLogic<net::UdpTransport> node(ring, opt.id, transport);
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_dump);
+  std::uint64_t next_beat =
+      opt.heartbeat_ms > 0 ? opt.heartbeat_ms : ~0ULL;
   while (g_stop == 0) {
     transport.poll(
         50, [&](const net::Message& m) { node.on_message(m); },
         [](const net::Message&) {});
+    if (g_dump != 0) {
+      g_dump = 0;
+      print_stats("dump", opt.id, transport, node.load());
+    }
+    if (transport.now_ms() >= next_beat) {
+      print_stats("heartbeat", opt.id, transport, node.load());
+      next_beat += opt.heartbeat_ms;
+    }
   }
   return 0;
 }
@@ -117,12 +149,23 @@ int drive(const Options& opt) {
   dcfg.retransmit_ms = opt.retransmit_ms;
   net::ClientDriver<net::UdpTransport> driver(ring, dcfg, transport);
 
+  std::signal(SIGUSR1, on_dump);
+  std::uint64_t next_beat =
+      opt.heartbeat_ms > 0 ? opt.heartbeat_ms : ~0ULL;
   driver.start();
   while (!driver.done()) {
     if (transport.now_ms() > opt.timeout_ms) {
       std::fprintf(stderr, "dht_node: workload timed out after %llu ms\n",
                    static_cast<unsigned long long>(opt.timeout_ms));
       return 1;
+    }
+    if (g_dump != 0) {
+      g_dump = 0;
+      print_stats("dump", 0, transport, node.load());
+    }
+    if (transport.now_ms() >= next_beat) {
+      print_stats("heartbeat", 0, transport, node.load());
+      next_beat += opt.heartbeat_ms;
     }
     transport.poll(
         1,
@@ -143,10 +186,13 @@ int drive(const Options& opt) {
 
   const net::DriverReport& r = driver.report();
   std::printf("nodes=%zu inserts=%llu lookups=%llu max_load=%u "
-              "retransmits=%llu datagrams_out=%llu malformed=%llu\n",
+              "retransmits=%llu data_retransmits=%llu census_retries=%llu "
+              "datagrams_out=%llu malformed=%llu\n",
               opt.nodes, static_cast<unsigned long long>(r.inserts),
               static_cast<unsigned long long>(r.lookups), r.max_load,
-              static_cast<unsigned long long>(r.retransmits),
+              static_cast<unsigned long long>(r.total_retransmits()),
+              static_cast<unsigned long long>(r.data_retransmits),
+              static_cast<unsigned long long>(r.census_retries),
               static_cast<unsigned long long>(transport.links().total),
               static_cast<unsigned long long>(transport.malformed()));
   std::printf("insert_latency_us: mean=%.1f p50=%.1f p90=%.1f p99=%.1f\n",
@@ -216,6 +262,7 @@ int main(int argc, char** argv) {
     opt.tie = core::tie_break_from_string(args.get_string("tie", "first"));
     opt.retransmit_ms = args.get_u64("retransmit-ms", opt.retransmit_ms);
     opt.timeout_ms = args.get_u64("timeout-ms", opt.timeout_ms);
+    opt.heartbeat_ms = args.get_u64("heartbeat-ms", opt.heartbeat_ms);
     if (const auto stray = args.unused(); !stray.empty()) {
       std::fprintf(stderr, "dht_node: unknown flag --%s\n", stray[0].c_str());
       return 2;

@@ -57,6 +57,7 @@ NetScenarioResult run_net_scenario(const NetScenarioConfig& cfg) {
       [&cfg](std::uint64_t trial, rng::DefaultEngine& /*unused*/) {
         net::NetConfig c = cfg.net;
         c.trial = trial;
+        c.trace = trial == 0 ? cfg.trace : nullptr;
         if (cfg.workers > 0) {
           return net::ParallelNetSimulator::simulate(
               c, {cfg.workers, cfg.shards});

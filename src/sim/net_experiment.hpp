@@ -34,6 +34,10 @@ struct NetScenarioConfig {
   /// Ring shards for the parallel engine (0 = 4 per worker); ignored when
   /// workers == 0.
   std::uint32_t shards = 0;
+  /// Optional message-lifecycle recorder (not owned, may be null). Only
+  /// trial 0 records into it: trials run on a thread pool and the ring
+  /// buffer is single-writer, so one representative trial is traced.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct NetScenarioResult {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "dht/chord.hpp"
 #include "net/chord_space.hpp"
 #include "net/cluster.hpp"
+#include "net/message.hpp"
+#include "obs/obs.hpp"
 #include "parallel/trial_runner.hpp"
 #include "rng/streams.hpp"
 #include "sim/cli.hpp"
@@ -222,6 +225,13 @@ std::vector<TrialOutcome> run_trials_with(const Scenario& sc, Engine engine,
     const std::uint32_t max_load =
         drive_engine(space_of(box), engine, opt, balls, sc, pool);
     const auto t1 = Clock::now();
+    if (obs::enabled()) {
+      // Per-thread sinks: safe from the trial pool's worker threads.
+      static const obs::Counter trials_done("scenario.trials");
+      static const obs::Counter balls_placed("scenario.balls");
+      trials_done.add(1);
+      balls_placed.add(opt.num_balls);
+    }
     return {max_load, std::chrono::duration<double>(t1 - t0).count()};
   };
 
@@ -388,8 +398,11 @@ void validate_wire(const Scenario& sc) {
 /// kUdp trials: each stands up a fresh loopback cluster. Sequential on
 /// purpose — the trials share the kernel's loopback path and the wall
 /// clock, so parallel trials would contend, not speed up. Per-trial P²
-/// percentile estimates are averaged, mirroring run_net_scenario.
-void run_udp_trials(const Scenario& sc, RunReport& report) {
+/// percentile estimates are averaged, mirroring run_net_scenario. Only
+/// trial 0 records into `trace` (matching run_net_scenario's convention,
+/// so sim- and udp-transport traces cover the same slice).
+void run_udp_trials(const Scenario& sc, RunReport& report,
+                    obs::TraceRecorder* trace) {
   WireMetrics& w = report.wire;
   double ins_p50 = 0.0, ins_p90 = 0.0, ins_p99 = 0.0;
   double look_p50 = 0.0, look_p90 = 0.0, look_p99 = 0.0;
@@ -407,6 +420,7 @@ void run_udp_trials(const Scenario& sc, RunReport& report) {
     cc.driver.tie = sc.tie;
     cc.driver.seed = sc.seed;
     cc.driver.trial = t;
+    cc.driver.trace = t == 0 ? trace : nullptr;
     const auto t0 = Clock::now();
     const net::ClusterResult res = net::run_loopback_cluster(cc);
     const double secs =
@@ -418,7 +432,9 @@ void run_udp_trials(const Scenario& sc, RunReport& report) {
     report.max_load.add(res.report.max_load);
     w.datagrams += res.datagrams;
     w.malformed += res.malformed;
-    w.retransmits += res.report.retransmits;
+    w.data_retransmits += res.report.data_retransmits;
+    w.census_retries += res.report.census_retries;
+    w.retransmits += res.report.total_retransmits();
     stale += res.stale_reads;
     inserts += res.report.inserts;
     sum_elapsed += static_cast<double>(res.elapsed_ms) / 1000.0;
@@ -458,6 +474,42 @@ void run_udp_trials(const Scenario& sc, RunReport& report) {
   report.trial_seconds_min = min_s;
   report.trial_seconds_max = max_s;
   report.trial_seconds_mean = sum_s / static_cast<double>(sc.trials);
+  if (obs::enabled()) {
+    static const obs::Counter c_datagrams("cluster.datagrams");
+    static const obs::Counter c_malformed("cluster.malformed");
+    static const obs::Counter c_inserts("cluster.inserts");
+    static const obs::Counter c_lookups("cluster.lookups");
+    static const obs::Counter c_stale("cluster.stale_reads");
+    static const obs::Counter c_data_rtx("cluster.data_retransmits");
+    static const obs::Counter c_census("cluster.census_retries");
+    c_datagrams.add(w.datagrams);
+    c_malformed.add(w.malformed);
+    c_inserts.add(inserts);
+    c_lookups.add(sc.lookups * sc.trials);
+    c_stale.add(stale);
+    c_data_rtx.add(w.data_retransmits);
+    c_census.add(w.census_retries);
+  }
+}
+
+/// Serialize the run's trace to `path` as Chrome trace-event JSON (load in
+/// Perfetto or chrome://tracing). Throws if the file cannot be written —
+/// a silently dropped trace is worse than a failed run.
+void write_trace_file(const obs::TraceRecorder& rec, const std::string& path) {
+  std::vector<std::string> type_names;
+  type_names.reserve(net::kMsgTypeCount);
+  for (int i = 0; i < net::kMsgTypeCount; ++i) {
+    type_names.emplace_back(
+        net::to_string(static_cast<net::MsgType>(i)));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("run: cannot open trace-out file: " + path);
+  }
+  out << rec.to_chrome_json(type_names);
+  if (!out.good()) {
+    throw std::runtime_error("run: failed writing trace-out file: " + path);
+  }
 }
 
 RunReport run_wire(const Scenario& sc) {
@@ -471,9 +523,19 @@ RunReport run_wire(const Scenario& sc) {
   report.spec.threads = resolve_threads(sc.threads);
   report.wire.present = true;
 
+  // One recorder serves both transports: the DES sequencer and the UDP
+  // loopback pump are each single-threaded at the record sites, and only
+  // trial 0 writes, so the ring never sees two writers.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!sc.trace_out.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+  }
+
   if (sc.transport == WireTransport::kSim) {
     const auto t0 = Clock::now();
-    const NetScenarioResult r = run_net_scenario(net_scenario_config(sc));
+    NetScenarioConfig ncfg = net_scenario_config(sc);
+    ncfg.trace = recorder.get();
+    const NetScenarioResult r = run_net_scenario(ncfg);
     const double total =
         std::chrono::duration<double>(Clock::now() - t0).count();
     report.max_load = r.max_load;
@@ -500,8 +562,9 @@ RunReport run_wire(const Scenario& sc) {
     report.trial_seconds_min = report.trial_seconds_mean;
     report.trial_seconds_max = report.trial_seconds_mean;
   } else {
-    run_udp_trials(sc, report);
+    run_udp_trials(sc, report, recorder.get());
   }
+  if (recorder) write_trace_file(*recorder, sc.trace_out);
   if (report.total_seconds > 0.0) {
     report.balls_per_sec = static_cast<double>(sc.balls()) *
                            static_cast<double>(sc.trials) /
@@ -515,10 +578,7 @@ RunReport run_wire(const Scenario& sc) {
   return report;
 }
 
-}  // namespace
-
-RunReport run(const Scenario& sc) {
-  if (sc.model == ExecModel::kWire) return run_wire(sc);
+RunReport run_structural(const Scenario& sc) {
   const Engine engine = resolve_engine(sc);
   validate(sc, engine);
   const std::uint64_t measure_samples =
@@ -562,6 +622,44 @@ RunReport run(const Scenario& sc) {
     report.balls_per_sec = static_cast<double>(sc.balls()) *
                            static_cast<double>(sc.trials) / sum_s;
   }
+  return report;
+}
+
+}  // namespace
+
+RunReport run(const Scenario& sc) {
+  const bool obs_on = sc.obs || !sc.trace_out.empty();
+  if (!sc.trace_out.empty()) {
+    if (!obs::compiled_in()) {
+      throw std::invalid_argument(
+          "run: --trace-out needs the obs layer; rebuild with "
+          "-DGEOCHOICE_OBS=ON");
+    }
+    if (sc.model != ExecModel::kWire) {
+      throw std::invalid_argument(
+          "run: --trace-out records message lifecycles; structural runs "
+          "have no messages (use --model=wire)");
+    }
+  }
+  if (!obs_on || !obs::compiled_in()) {
+    // A bare --obs on an obs-less build is legal (the report's metrics
+    // vector just stays empty), so scripts can pass it unconditionally.
+    return sc.model == ExecModel::kWire ? run_wire(sc) : run_structural(sc);
+  }
+  // Fresh counters per run, toggle restored even on throw. The toggle is
+  // the only global the wrapped run sees: metrics never touch RNG
+  // substreams or event ordering (pinned by the golden-hash tests).
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  RunReport report;
+  try {
+    report = sc.model == ExecModel::kWire ? run_wire(sc) : run_structural(sc);
+  } catch (...) {
+    obs::set_enabled(false);
+    throw;
+  }
+  obs::set_enabled(false);
+  report.metrics = obs::Registry::global().snapshot();
   return report;
 }
 
@@ -614,6 +712,8 @@ Scenario scenario_from_args(const ArgParser& args, Scenario defaults) {
   sc.workers = args.get_u64("workers", sc.workers);
   sc.shards = static_cast<std::uint32_t>(
       args.get_u64("shards", static_cast<std::uint64_t>(sc.shards)));
+  if (args.has("obs")) sc.obs = true;
+  sc.trace_out = args.get_string("trace-out", sc.trace_out);
   return sc;
 }
 
@@ -686,10 +786,41 @@ std::string render_run_summary(const RunReport& report) {
     if (sc.transport == WireTransport::kUdp) {
       std::snprintf(buf, sizeof(buf),
                     "          datagrams %llu, malformed %llu, "
-                    "retransmits %llu\n",
+                    "retransmits %llu (data %llu, census %llu)\n",
                     static_cast<unsigned long long>(w.datagrams),
                     static_cast<unsigned long long>(w.malformed),
-                    static_cast<unsigned long long>(w.retransmits));
+                    static_cast<unsigned long long>(w.retransmits),
+                    static_cast<unsigned long long>(w.data_retransmits),
+                    static_cast<unsigned long long>(w.census_retries));
+      out += buf;
+    }
+  }
+  if (!report.metrics.empty()) {
+    out += "metrics:\n";
+    for (const obs::MetricValue& m : report.metrics) {
+      switch (m.kind) {
+        case obs::MetricKind::kCounter:
+          std::snprintf(buf, sizeof(buf), "  %-32s %llu\n", m.name.c_str(),
+                        static_cast<unsigned long long>(m.count));
+          break;
+        case obs::MetricKind::kGauge:
+          std::snprintf(buf, sizeof(buf), "  %-32s %s (last of %llu writes)\n",
+                        m.name.c_str(), format_double(m.value).c_str(),
+                        static_cast<unsigned long long>(m.count));
+          break;
+        case obs::MetricKind::kHistogram:
+          std::snprintf(buf, sizeof(buf),
+                        "  %-32s count %llu, sum %s, mean %s\n",
+                        m.name.c_str(),
+                        static_cast<unsigned long long>(m.count),
+                        format_double(m.value).c_str(),
+                        format_double(m.count > 0
+                                          ? m.value /
+                                                static_cast<double>(m.count)
+                                          : 0.0)
+                            .c_str());
+          break;
+      }
       out += buf;
     }
   }
@@ -787,15 +918,40 @@ std::string scenario_json(const RunReport& report) {
         buf, sizeof(buf),
         "\"links_per_insert\": %s, \"stale_fraction\": %s, "
         "\"insert_latency_p99\": %s, \"lookup_hops_p99\": %s, "
-        "\"datagrams\": %llu, \"malformed\": %llu, \"retransmits\": %llu},\n",
+        "\"datagrams\": %llu, \"malformed\": %llu, \"retransmits\": %llu, "
+        "\"data_retransmits\": %llu, \"census_retries\": %llu},\n",
         format_double(w.links_per_insert).c_str(),
         format_double(w.stale_fraction).c_str(),
         format_double(w.insert_latency_p99).c_str(),
         format_double(w.lookup_hops_p99).c_str(),
         static_cast<unsigned long long>(w.datagrams),
         static_cast<unsigned long long>(w.malformed),
-        static_cast<unsigned long long>(w.retransmits));
+        static_cast<unsigned long long>(w.retransmits),
+        static_cast<unsigned long long>(w.data_retransmits),
+        static_cast<unsigned long long>(w.census_retries));
     json += buf;
+  }
+  if (!report.metrics.empty()) {
+    json += "  \"metrics\": {";
+    bool first = true;
+    for (const obs::MetricValue& m : report.metrics) {
+      if (!first) json += ", ";
+      first = false;
+      if (m.kind == obs::MetricKind::kCounter) {
+        std::snprintf(buf, sizeof(buf), "\"%s\": %llu", m.name.c_str(),
+                      static_cast<unsigned long long>(m.count));
+      } else {
+        // Gauges and histograms both reduce to {count, value}: the last
+        // written value resp. the observation sum.
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\": {\"count\": %llu, \"value\": %s}",
+                      m.name.c_str(),
+                      static_cast<unsigned long long>(m.count),
+                      format_double(m.value).c_str());
+      }
+      json += buf;
+    }
+    json += "},\n";
   }
   std::snprintf(buf, sizeof(buf),
                 "  \"mean_max_load\": %s,\n  \"max_load_min\": %llu,\n"

@@ -42,6 +42,7 @@
 
 #include "core/process.hpp"
 #include "net/latency.hpp"
+#include "obs/registry.hpp"
 #include "stats/histogram.hpp"
 
 namespace geochoice::sim {
@@ -140,6 +141,19 @@ struct Scenario {
   /// kSim: ring shards for the parallel engine (0 = 4 per worker).
   std::uint32_t shards = 0;
 
+  // ---- observability (any model) ----
+
+  /// Enable the obs registry for this run: sim::run resets it, flips the
+  /// runtime toggle on, snapshots every counter into RunReport::metrics,
+  /// and restores the toggle. Implied by a nonempty trace_out. Never
+  /// changes results — obs consumes no RNG (pinned by the golden-hash
+  /// tests).
+  bool obs = false;
+  /// Write a Chrome trace-event JSON (Perfetto-compatible) of trial 0's
+  /// message lifecycle to this path. Wire model only — structural runs
+  /// have no messages — and requires GEOCHOICE_OBS=ON at build time.
+  std::string trace_out;
+
   /// Streaming max-load percentiles reported next to the histogram
   /// (each must lie in (0, 1)).
   std::vector<double> quantiles = {0.5, 0.9, 0.99};
@@ -174,10 +188,14 @@ struct WireMetrics {
   double stale_fraction = 0.0;
   double mean_events = 0.0;
   double mean_end_time = 0.0;
-  // kUdp only: totals across all trials.
+  // kUdp only: totals across all trials. retransmits is the total;
+  // data_retransmits (suspected loss on the workload path) and
+  // census_retries (read-only census re-probes) split it.
   std::uint64_t datagrams = 0;
   std::uint64_t malformed = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t data_retransmits = 0;
+  std::uint64_t census_retries = 0;
 };
 
 /// Everything one run produced, plus the spec that produced it.
@@ -198,6 +216,13 @@ struct RunReport {
 
   /// Wire-model metrics; wire.present is false for structural runs.
   WireMetrics wire;
+
+  /// Registry snapshot (counters/gauges/histograms) taken at the end of
+  /// the run; empty unless spec.obs (or a trace_out) turned the obs layer
+  /// on. Every engine reports here: structural runs carry
+  /// scenario.trials/scenario.balls, sim-transport runs the net.* and
+  /// parallel.* counters, udp runs the cluster.* counters.
+  std::vector<obs::MetricValue> metrics;
 
   /// Per-trial wall timing (seconds), aggregated over trials.
   double total_seconds = 0.0;
@@ -247,6 +272,9 @@ struct RunReport {
 ///   --model=structural|wire  --transport=sim|udp
 ///   --latency=constant|uniform|lognormal  --lat-a=A  --lat-b=B
 ///   --window=W  --lookups=L  --workers=K  --shards=S
+/// and the observability flags:
+///   --obs  (bare: report registry metrics)  --trace-out=FILE (implies
+///   --obs; write trial 0's Chrome trace JSON, wire model only)
 [[nodiscard]] Scenario scenario_from_args(const ArgParser& args,
                                           Scenario defaults = {});
 

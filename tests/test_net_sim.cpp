@@ -8,6 +8,7 @@
 
 #include "core/process.hpp"
 #include "net/net.hpp"
+#include "obs/obs.hpp"
 #include "rng/rng.hpp"
 #include "sim/net_experiment.hpp"
 
@@ -188,6 +189,31 @@ TEST(NetSim, GoldenTraceHash) {
   // to IEEE mul/add (no libm), so the hash is bit-stable.
   const auto m = gn::NetSimulator::simulate(mixed_config());
   EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
+}
+
+TEST(NetSim, GoldenTraceHashUnchangedWithObsAndTracing) {
+  // The observability contract, enforced: metrics fully enabled AND a
+  // lifecycle recorder attached must not move the golden pin by one bit
+  // (obs consumes no RNG and never reorders events).
+  namespace obs = geochoice::obs;
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  obs::TraceRecorder rec;
+  auto cfg = mixed_config();
+  cfg.trace = &rec;
+  const auto m = gn::NetSimulator::simulate(cfg);
+  obs::set_enabled(false);
+  EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
+  if (obs::compiled_in()) {
+    EXPECT_GT(rec.size(), 0u);  // the recorder really saw the run
+    bool counted_events = false;
+    for (const auto& metric : obs::Registry::global().snapshot()) {
+      if (metric.name == "net.events" && metric.count == m.events) {
+        counted_events = true;
+      }
+    }
+    EXPECT_TRUE(counted_events);
+  }
 }
 
 TEST(NetSim, ScenarioIsThreadCountInvariant) {

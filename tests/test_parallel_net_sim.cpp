@@ -17,9 +17,11 @@
 
 #include "net/parallel_simulator.hpp"
 #include "net/simulator.hpp"
+#include "obs/obs.hpp"
 #include "parallel/window_barrier.hpp"
 
 namespace gn = geochoice::net;
+namespace go = geochoice::obs;
 namespace gp = geochoice::parallel;
 
 namespace {
@@ -84,6 +86,53 @@ TEST(ParallelNetSim, GoldenTraceHashMatchesSequentialPin) {
   // identical event sequence, not merely an equivalent one.
   const auto m = gn::ParallelNetSimulator::simulate(mixed_config(), {4, 16});
   EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
+}
+
+TEST(ParallelNetSim, GoldenHashUnchangedWithObsAndTracing) {
+  // Obs fully on, recorder attached, barrier spans timing every window:
+  // the parallel engine must still replay the exact golden sequence.
+  go::Registry::global().reset();
+  go::set_enabled(true);
+  go::TraceRecorder rec;
+  auto cfg = mixed_config();
+  cfg.trace = &rec;
+  const auto m = gn::ParallelNetSimulator::simulate(cfg, {4, 16});
+  go::set_enabled(false);
+  EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
+  if (go::compiled_in()) EXPECT_GT(rec.size(), 0u);
+}
+
+TEST(ParallelNetSim, ObsCounterTotalsInvariantAcrossWorkersAndShards) {
+  // The per-thread sinks merge to the same totals no matter how the crew
+  // is shaped: window count, deferred-fill count, and every net.* counter
+  // are properties of the event stream, not of the parallelism.
+  if (!go::compiled_in()) GTEST_SKIP() << "obs layer compiled out";
+  const auto totals = [](std::size_t workers, std::uint32_t shards) {
+    go::Registry::global().reset();
+    go::set_enabled(true);
+    (void)gn::ParallelNetSimulator::simulate(mixed_config(),
+                                             {workers, shards});
+    go::set_enabled(false);
+    // Drop the barrier timer pair: wall-clock, legitimately run-varying.
+    std::vector<go::MetricValue> out;
+    for (auto& m : go::Registry::global().snapshot()) {
+      if (m.name.rfind("parallel.barrier", 0) == 0) continue;
+      out.push_back(std::move(m));
+    }
+    return out;
+  };
+  const auto base = totals(1, 1);
+  ASSERT_FALSE(base.empty());
+  for (const auto& [workers, shards] :
+       {std::pair<std::size_t, std::uint32_t>{2, 4}, {4, 16}}) {
+    const auto got = totals(workers, shards);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i].name, base[i].name);
+      EXPECT_EQ(got[i].count, base[i].count) << got[i].name;
+      EXPECT_EQ(got[i].buckets, base[i].buckets) << got[i].name;
+    }
+  }
 }
 
 TEST(ParallelNetSim, ShardStarvedCrewStillExact) {

@@ -22,6 +22,7 @@
 
 #include "net/cluster.hpp"
 #include "net/simulator.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -145,6 +146,41 @@ TEST(UdpCluster, CensusLoadsAccountForEveryInsert) {
   EXPECT_EQ(real.report.lookups, ccfg.driver.lookups);
   EXPECT_EQ(real.report.insert_latency_us_q.count(), ccfg.driver.inserts);
   EXPECT_GT(real.datagrams, 0u);
+}
+
+TEST(UdpCluster, TraceRecorderSeesRealDatagramLifecycles) {
+  net::ClusterConfig ccfg;
+  ccfg.nodes = 3;
+  ccfg.driver.inserts = 24;
+  ccfg.driver.lookups = 8;
+  ccfg.driver.seed = kSeed;
+  obs::TraceRecorder rec;
+  ccfg.driver.trace = &rec;
+
+  net::ClusterResult real;
+  try {
+    real = run_cluster_or_skip(ccfg);
+  } catch (const std::system_error&) {
+    return;
+  }
+  ASSERT_EQ(real.report.inserts, ccfg.driver.inserts);
+  if (!obs::compiled_in()) {
+    EXPECT_EQ(rec.size(), 0u);
+    return;
+  }
+  // Attaching the recorder changes nothing about the run, and it must
+  // have seen at least every issue (scheduled) and completion (delivered)
+  // the driver observed. (Timestamps are per-transport clocks — each node
+  // binds at a slightly different instant — so only non-negativity is
+  // pinnable across the shared ring.)
+  std::uint64_t scheduled = 0, delivered = 0;
+  for (const auto& r : rec.records()) {
+    scheduled += r.phase == obs::TracePhase::kScheduled ? 1 : 0;
+    delivered += r.phase == obs::TracePhase::kDelivered ? 1 : 0;
+    EXPECT_GE(r.ts_us, 0.0);
+  }
+  EXPECT_GE(scheduled, ccfg.driver.inserts + ccfg.driver.lookups);
+  EXPECT_GE(delivered, ccfg.driver.inserts + ccfg.driver.lookups);
 }
 
 TEST(UdpCluster, SingleNodeClusterServesItself) {
