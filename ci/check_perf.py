@@ -24,7 +24,10 @@ baseline.json schema:
       "min": <floor>, "reference": <dev-time value>,
       "min_hw_threads": <optional: skip metric when results' hw_threads
                          is below this — thread-scaling metrics are
-                         meaningless on starved runners>}}}}
+                         meaningless on starved runners>,
+      "skip_on_quick": <optional: skip metric when the results'
+                        config.quick flag is true — scaling floors need
+                        full-size problems; the CI smoke runs --quick>}}}}
 """
 import json
 import os
@@ -46,11 +49,17 @@ def check(results, gates, label, verbose=False):
     """Return a list of failure strings for one results dict."""
     failures = []
     hw = results.get("hw_threads")
+    config = results.get("config")
+    quick = isinstance(config, dict) and bool(config.get("quick"))
     for metric, gate in gates.items():
         need_hw = gate.get("min_hw_threads")
         if need_hw is not None and hw is not None and hw < need_hw:
             print(f"  SKIP {label}:{metric}: hw_threads={hw} < {need_hw} "
                   "(thread-scaling metric needs real cores)")
+            continue
+        if gate.get("skip_on_quick") and quick:
+            print(f"  SKIP {label}:{metric}: quick-size results "
+                  "(floor applies to full-size runs only)")
             continue
         value = results.get(metric)
         if value is None:

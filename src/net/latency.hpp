@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -80,20 +81,52 @@ struct LatencyModel {
     return {LatencyKind::kLognormal, mu, sigma, floor};
   }
 
+  /// Raw engine words one delay consumes: 0 (constant), 1 (uniform), or
+  /// 2 (lognormal's Box–Muller pair). Fixed per kind, which is what lets
+  /// the parallel DES pre-draw a block of words and transform them later
+  /// (or on another thread) while provably consuming the kNetLatency
+  /// substream in the identical order sample() would.
+  [[nodiscard]] int words_per_sample() const noexcept {
+    switch (kind) {
+      case LatencyKind::kConstant:
+        return 0;
+      case LatencyKind::kUniform:
+        return 1;
+      case LatencyKind::kLognormal:
+        return 2;
+    }
+    return 0;
+  }
+
+  /// The pure words -> delay transform: `words` must hold
+  /// words_per_sample() consecutive engine outputs, earliest first (may be
+  /// null for the constant model). Thread-safe; sample() is defined as
+  /// draw-then-transform, so a pre-drawn block is bit-identical by
+  /// construction.
+  [[nodiscard]] double sample_from_words(
+      const std::uint64_t* words) const noexcept {
+    switch (kind) {
+      case LatencyKind::kConstant:
+        return a;
+      case LatencyKind::kUniform:
+        return a + (b - a) * rng::u01_from_word(words[0]);
+      case LatencyKind::kLognormal:
+        return std::max(
+            floor, std::exp(a + b * rng::normal_from_words(words[0],
+                                                           words[1])));
+    }
+    return a;
+  }
+
   /// One link delay. Consumes engine draws even for the constant model only
   /// when needed (constant consumes none), keeping the draw count — and so
   /// the trace — stable under model-parameter changes but not model-kind
   /// changes.
   [[nodiscard]] double sample(rng::DefaultEngine& gen) const noexcept {
-    switch (kind) {
-      case LatencyKind::kConstant:
-        return a;
-      case LatencyKind::kUniform:
-        return rng::uniform_real(gen, a, b);
-      case LatencyKind::kLognormal:
-        return std::max(floor, std::exp(a + b * rng::normal(gen)));
-    }
-    return a;
+    std::uint64_t words[2];
+    const int n = words_per_sample();
+    for (int i = 0; i < n; ++i) words[i] = gen();
+    return sample_from_words(words);
   }
 
   /// Smallest delay the model can produce — the lookahead of the

@@ -1,0 +1,132 @@
+// latency_block.hpp — pre-drawn link-delay blocks for the conservative
+// parallel simulator.
+//
+// The sequential engine samples one delay from the kNetLatency substream
+// at every send, in global (time, seq) pop order — the order the golden
+// trace hash pins. The parallel engine wants handler execution off that
+// critical path, so it splits sampling into the two halves LatencyModel
+// now exposes:
+//
+//   draw:      pull words_per_sample() raw engine words per delay. Cheap
+//              (a xoshiro step per word) and inherently sequential — the
+//              sequencer does this in bulk at window barriers.
+//   transform: words -> delay (sample_from_words). Pure math (for the
+//              lognormal: log1p/sqrt/cos/exp per delay) over disjoint
+//              slots — the barrier crew runs it in parallel ranges.
+//
+// next() then hands out transformed delays in draw order. Because every
+// delay consumes a fixed word count and the words were drawn in stream
+// order, the sequence next() produces is bit-identical to calling
+// model.sample(gen) at each send — pinned by the differential tests in
+// test_parallel_net_sim.cpp. Pre-drawing *ahead* of the sends is
+// unobservable: the substream is dedicated to latency draws and nothing
+// reads the engine's state after the run.
+//
+// If a window consumes more delays than the last barrier staged (the
+// refill estimate is last window's consumption), next() refills inline in
+// chunks on the sequencer — same engine, same order, same values, just
+// without the parallel transform. The constant model short-circuits
+// everything: zero words per sample, next() returns the constant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace geochoice::net {
+
+class LatencyBlock {
+ public:
+  /// `engine` must be an unconsumed kNetLatency substream for the run —
+  /// the same stream the sequential engine's transport owns (which the
+  /// parallel engine then never touches).
+  LatencyBlock(const LatencyModel& model, rng::DefaultEngine engine)
+      : model_(model),
+        gen_(std::move(engine)),
+        wps_(static_cast<std::size_t>(model.words_per_sample())) {}
+
+  /// The next link delay in exact substream order. Sequencer only; must
+  /// not race a pending refill (callers refill only at window barriers).
+  [[nodiscard]] double next() {
+    if (wps_ == 0) return model_.a;
+    if (head_ == delays_.size()) refill_inline();
+    ++consumed_;
+    return delays_[head_++];
+  }
+
+  /// Barrier phase 1 (sequencer): compact the unconsumed tail, draw raw
+  /// words for the delays the next window is likely to need (estimate:
+  /// what the last window consumed), and return how many samples now
+  /// await transform_range(). 0 means nothing to stage — the constant
+  /// model, or enough delays already banked.
+  [[nodiscard]] std::size_t refill_begin() {
+    if (wps_ == 0) return 0;
+    delays_.erase(delays_.begin(),
+                  delays_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+    const std::size_t target = consumed_ > kMinStage ? consumed_ : kMinStage;
+    consumed_ = 0;
+    const std::size_t have = delays_.size();
+    const std::size_t want = target > have ? target - have : 0;
+    if (want == 0) return 0;
+    base_ = have;
+    delays_.resize(have + want);
+    words_.resize(want * wps_);
+    for (auto& w : words_) w = gen_();
+    return want;
+  }
+
+  /// Barrier phase 2 (crew-callable): transform staged samples [lo, hi)
+  /// into delays. Ranges must be disjoint; slots and source words are
+  /// per-sample disjoint, so concurrent callers never touch the same
+  /// element. The caller's barrier orders this between refill_begin() and
+  /// the next next().
+  void transform_range(std::size_t lo, std::size_t hi) noexcept {
+    for (std::size_t i = lo; i < hi; ++i) {
+      delays_[base_ + i] = model_.sample_from_words(&words_[i * wps_]);
+    }
+  }
+
+  /// Delays staged and not yet consumed (tests / occupancy accounting).
+  [[nodiscard]] std::size_t staged() const noexcept {
+    return delays_.size() - head_;
+  }
+  /// Times next() ran dry mid-window and refilled on the sequencer — the
+  /// estimate-miss count (obs: parallel.latency_inline_refills).
+  [[nodiscard]] std::uint64_t inline_refills() const noexcept {
+    return inline_refills_;
+  }
+
+ private:
+  /// The window outran the staged block: draw-and-transform one chunk on
+  /// the sequencer. Word order is unchanged, so so are the delays.
+  void refill_inline() {
+    const std::size_t base = delays_.size();
+    delays_.resize(base + kInlineChunk);
+    std::uint64_t w[2];
+    for (std::size_t i = 0; i < kInlineChunk; ++i) {
+      for (std::size_t j = 0; j < wps_; ++j) w[j] = gen_();
+      delays_[base + i] = model_.sample_from_words(w);
+    }
+    ++inline_refills_;
+  }
+
+  static constexpr std::size_t kMinStage = 64;
+  static constexpr std::size_t kInlineChunk = 64;
+
+  LatencyModel model_;
+  rng::DefaultEngine gen_;
+  std::size_t wps_ = 0;
+  std::vector<double> delays_;
+  std::vector<std::uint64_t> words_;
+  std::size_t head_ = 0;       // next delay to hand out
+  std::size_t base_ = 0;       // first slot of the staged-refill region
+  std::size_t consumed_ = 0;   // next() calls since the last refill_begin
+  std::uint64_t inline_refills_ = 0;
+};
+
+}  // namespace geochoice::net

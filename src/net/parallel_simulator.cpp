@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "net/simulator.hpp"
 #include "obs/obs.hpp"
@@ -9,12 +10,23 @@
 
 namespace geochoice::net {
 
+namespace {
+
+/// Banked tasks per worker below which a barrier wake-up costs more than
+/// it buys: a spin-handoff epoch is ~2-5us, a task is tens of ns.
+constexpr std::size_t kCrewTaskThreshold = 32;
+
+}  // namespace
+
 ParallelNetSimulator::ParallelNetSimulator(const dht::ChordRing& ring,
                                            const NetConfig& cfg,
                                            const ParallelConfig& par)
     : SimCore<ParallelNetSimulator>(ring, cfg),
       crew_(par.workers),
-      lookahead_(cfg.latency.min()) {
+      latency_(cfg.latency, rng::make_stream(cfg.seed, cfg.trial,
+                                             rng::StreamPurpose::kNetLatency)),
+      lookahead_(cfg.latency.min()),
+      crew_mode_(par.crew) {
   if (!(lookahead_ > 0.0)) {
     throw std::invalid_argument(
         "ParallelNetSimulator: latency model minimum is zero — no "
@@ -22,6 +34,9 @@ ParallelNetSimulator::ParallelNetSimulator(const dht::ChordRing& ring,
         "runs");
   }
   const auto workers = static_cast<std::uint32_t>(crew_.worker_count());
+  const std::size_t hw = std::thread::hardware_concurrency();
+  // hardware_concurrency() == 0 means "unknown"; assume not oversubscribed.
+  oversubscribed_ = hw != 0 && crew_.worker_count() > hw;
   shards_ = par.shards != 0 ? par.shards : workers * 4;
   // More shards than nodes buys nothing: some would own no node at all.
   shards_ = std::min<std::uint32_t>(
@@ -37,50 +52,83 @@ NetMetrics ParallelNetSimulator::simulate(const NetConfig& cfg,
   return sim.run();
 }
 
+bool ParallelNetSimulator::engage_crew(std::size_t total_tasks) const noexcept {
+  if (crew_.worker_count() == 1) return false;  // run() is a plain call anyway
+  switch (crew_mode_) {
+    case CrewMode::kAlways:
+      return true;
+    case CrewMode::kNever:
+      return false;
+    case CrewMode::kAuto:
+      return !oversubscribed_ &&
+             total_tasks >= kCrewTaskThreshold * crew_.worker_count();
+  }
+  return false;
+}
+
 void ParallelNetSimulator::finish_window() {
-  if (fills_pending_ == 0) return;
-  deferred_fills_ += fills_pending_;
+  // Stage the next window's latency draws first: raw words are pulled from
+  // the engine *here*, in exact global send order, so the crew's
+  // words->delay transform below touches no RNG state.
+  const std::size_t transform = latency_.refill_begin();
+  const std::size_t tasks = tasks_pending_;
+  static const obs::Histogram batch_size(
+      "parallel.batch_tasks", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  batch_size.observe(static_cast<double>(tasks));
+  if (tasks == 0 && transform == 0) {
+    ++skipped_windows_;
+    return;
+  }
   const std::size_t workers = crew_.worker_count();
-  {
-    // Barrier wait + fill resolution, as seen by the sequencer. The crew
+  // One fused epoch: worker w transforms its contiguous share of the
+  // staged latency samples, then drains its own shard range's mailboxes.
+  // The two phases never need an intermediate barrier — staged delays are
+  // read only by the sequencer after run() returns, never by a task.
+  const auto work = [this, workers, transform](std::size_t w) {
+    const std::size_t t_lo = w * transform / workers;
+    const std::size_t t_hi = (w + 1) * transform / workers;
+    if (t_lo < t_hi) latency_.transform_range(t_lo, t_hi);
+    const std::uint32_t lo = parallel::shard_begin(w, shards_, workers);
+    const std::uint32_t hi = parallel::shard_begin(w + 1, shards_, workers);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      for (const CrewTask& task : mailboxes_[s]) run_task(task);
+    }
+  };
+  if (engage_crew(tasks + transform)) {
+    ++crew_windows_;
+    // Barrier wait + batch completion, as seen by the sequencer. The crew
     // never touches obs state: spans and trace records stay on this
     // thread.
     static const obs::Timer barrier_timer("parallel.barrier");
     obs::Span span(barrier_timer);
-    crew_.run([this, workers](std::size_t w) {
-      const std::uint32_t lo = parallel::shard_begin(w, shards_, workers);
-      const std::uint32_t hi = parallel::shard_begin(w + 1, shards_, workers);
-      for (std::uint32_t s = lo; s < hi; ++s) {
-        for (const FillTask& task : mailboxes_[s]) {
-          Message& m = queue().payload(task.ticket);
-          m.at = ring_->next_hop(task.from, m.key);
-        }
-      }
-    });
+    crew_.run(work);
+  } else {
+    ++inline_windows_;
+    for (std::size_t w = 0; w < workers; ++w) work(w);
   }
-  if (cfg_.trace != nullptr) {
-    // Resolved hops, recorded after the barrier so `at` is final. The
-    // barrier runs at the window's end; the last executed event's time is
-    // the sequencer clock at that point.
+  if (cfg_.trace != nullptr && tasks != 0) {
+    // Completed payloads, recorded after the barrier so every field is
+    // final. The barrier runs at the window's end; the last executed
+    // event's time is the sequencer clock at that point.
     for (const auto& box : mailboxes_) {
-      for (const FillTask& task : box) {
+      for (const CrewTask& task : box) {
         trace_msg(metrics_.end_time, obs::TracePhase::kDeferredFill,
                   queue().payload(task.ticket));
       }
     }
   }
   for (auto& box : mailboxes_) box.clear();  // keep capacity
-  fills_pending_ = 0;
+  tasks_pending_ = 0;
 }
 
 NetMetrics ParallelNetSimulator::run() {
   begin_run("ParallelNetSimulator");
   // Each window drains everything due before (earliest event + lookahead),
   // in global (time, seq) order — including zero-delay operation starts
-  // scheduled mid-window — then resolves the window's deferred hops at the
+  // scheduled mid-window — then completes the window's banked work at the
   // barrier. Every wire message sent at time t inside the window is due at
-  // t + delay >= t + lookahead >= window end, so its fill always lands
-  // before the pop that needs it.
+  // t + delay >= t + lookahead >= window end, so its fill or reply rewrite
+  // always lands before the pop that needs it.
   MessageQueue::Event e;
   static const obs::Histogram window_occupancy(
       "parallel.window_events",
@@ -98,8 +146,22 @@ NetMetrics ParallelNetSimulator::run() {
   if (obs::enabled()) {
     static const obs::Counter c_windows("parallel.windows");
     static const obs::Counter c_fills("parallel.deferred_fills");
+    static const obs::Counter c_replies("parallel.deferred_replies");
+    static const obs::Counter c_refills("parallel.latency_inline_refills");
     c_windows.add(windows_);
     c_fills.add(deferred_fills_);
+    c_replies.add(deferred_replies_);
+    c_refills.add(latency_.inline_refills());
+    // Engagement outcomes depend on CrewMode and the host's core count —
+    // the one family of counters that is *not* a pure function of
+    // (seed, config). The obs-invariance test excludes the
+    // "parallel.barrier" prefix for exactly this reason.
+    static const obs::Counter c_crew("parallel.barrier.crew_windows");
+    static const obs::Counter c_inline("parallel.barrier.inline_windows");
+    static const obs::Counter c_skipped("parallel.barrier.skipped");
+    c_crew.add(crew_windows_);
+    c_inline.add(inline_windows_);
+    c_skipped.add(skipped_windows_);
   }
   return finish();
 }

@@ -10,56 +10,95 @@
 // trace. So this engine keeps a single sequencing thread that replays the
 // sequential logic exactly — same pops, same draws, same handler side
 // effects, same hash folds (all via SimCore, the code NetSimulator runs)
-// — and extracts parallelism from the one per-event computation that
-// consumes no randomness and no mutable state: Chord next-hop resolution,
-// the finger-table scan that dominates per-event cost at large n.
+// — and pushes every per-event computation that consumes no randomness
+// and no mutable simulator state off to a worker crew.
 //
 // Execution model. Time advances in conservative windows of length
 //   lookahead = LatencyModel::min()  (> 0; validated at construction).
 // Every message put on the wire at time t is due no earlier than
 // t + lookahead, i.e. beyond the current window — so while the sequencer
-// drains a window, a forwarded message's next hop is not needed yet. The
-// sequencer therefore pushes forwarded messages with their `at` field
-// still stale, and banks a fill task {queue ticket, forwarding node} into
-// the mailbox of the forwarding node's ring shard (contiguous node
-// ranges, the PR-2 sharding discipline). At the window barrier a
-// WindowBarrier crew resolves all banked next hops in parallel — each
-// worker owns a contiguous shard range (parallel::shard_begin), so its
-// finger-table working set stays shard-local — writing results in place
-// through EventQueue::payload(). Fills are write-disjoint by construction
-// (one ticket, one task) and the barrier's happens-before edges order
-// them between the window's pushes and the next window's pops. Zero-delay
-// self-deliveries (operation starts) stay inside the window and are
-// drained in (time, seq) order by the min_time() re-check.
+// drains a window, nothing sent inside it is popped inside it. That slack
+// is what lets the sequencer push *incomplete* work onto the calendar
+// queue and complete it at the window barrier. Three kinds of work ride
+// the crew, fused into one barrier epoch per window:
+//
+//   * latency transforms — link delays come from a pre-drawn LatencyBlock
+//     (latency_block.hpp): the sequencer pulls raw engine words in exact
+//     global send order at the barrier, the crew runs the words->delay
+//     math (Box-Muller, exp) over disjoint sample ranges. Handler
+//     execution then never touches the kNetLatency substream.
+//   * next-hop fills — a forwarded message goes on the wire with its `at`
+//     field stale; the finger-table resolution (the per-event cost that
+//     dominates at large n) is banked on the forwarding node's shard
+//     mailbox and resolved by the crew in place via EventQueue::payload().
+//   * reply finishes — a probe/lookup arriving at its owner pushes a
+//     *stub* (the request copied, type pre-flipped so link counters
+//     match) plus the owner's load snapshot taken at pop time (a
+//     same-window kPlace may bump it right after); the crew rewrites the
+//     stub's fields through protocol::finish_probe_reply /
+//     finish_lookup_reply before the reply can pop.
+//
+// Tasks are bucketed by the touched node's ring shard (contiguous node
+// ranges, the PR-2 sharding discipline); each worker owns a contiguous
+// shard range (parallel::shard_begin), so writes are disjoint by
+// construction and finger-table working sets stay shard-local. The
+// barrier's happens-before edges order all of it between the window's
+// pushes and the next window's pops.
+//
+// Barrier-cost policy: banking always happens (so the task counters are a
+// pure function of (seed, config)), but *where* the banked work runs is a
+// policy decision per window. CrewMode::kAuto engages the crew only when
+// the window banked enough work to amortize a wake-up (and never when the
+// barrier is oversubscribed — more workers than hardware threads turns
+// every window into a scheduler round trip, the regime that made 2
+// workers on 1 core run at half speed); otherwise the sequencer runs the
+// same closure inline. Windows that banked nothing skip the barrier
+// outright. kAlways / kNever pin the decision for tests and TSan.
 //
 // The result: the executed event sequence is *the* sequential sequence —
 // same prefix under max_events, same metrics, same golden FNV trace hash
-// — at any worker/shard count. The price is Amdahl: only the routing
-// resolution leaves the sequencing thread, so speedup is bounded by the
-// next-hop share of per-event cost (which grows with n as finger tables
-// outgrow cache) and small rings gain nothing — see README "Parallel
-// simulation" for when to prefer the sequential engine.
+// — at any worker/shard/crew-mode combination. The price is Amdahl: the
+// sequencer still runs every handler, so speedup is bounded by the share
+// of per-event cost in routing scans, reply rewrites and latency math —
+// see README "Parallel simulation" for when to prefer the sequential
+// engine.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "net/latency_block.hpp"
 #include "net/sim_core.hpp"
 #include "parallel/window_barrier.hpp"
 
 namespace geochoice::net {
 
+/// Where a window's banked crew work executes (trace-invariant knob: the
+/// tasks and their results are identical either way).
+enum class CrewMode : std::uint8_t {
+  /// Engage the crew when the batch is worth a barrier wake-up and the
+  /// crew is not oversubscribed; run inline otherwise.
+  kAuto,
+  /// Every non-empty window crosses the barrier (tests, TSan coverage).
+  kAlways,
+  /// Never wake the crew: all banked work runs inline on the sequencer —
+  /// the pure-overhead measurement of the banking machinery.
+  kNever,
+};
+
 struct ParallelConfig {
   /// Barrier participants including the calling thread; 0 = hardware
-  /// concurrency (min 1). 1 spawns no threads: fills run inline at each
-  /// barrier, making the 1-worker engine a pure-overhead measurement of
-  /// the windowing machinery.
+  /// concurrency (min 1). 1 spawns no threads: banked work runs inline at
+  /// each barrier, making the 1-worker engine a pure-overhead measurement
+  /// of the windowing machinery.
   std::size_t workers = 0;
-  /// Contiguous ring shards fill work is bucketed by; 0 = 4 per worker.
+  /// Contiguous ring shards crew work is bucketed by; 0 = 4 per worker.
   /// More shards than occupied ring regions simply leaves workers idle
   /// (the shard-starved regime) — correctness never depends on the count.
   std::uint32_t shards = 0;
+  /// Crew engagement policy (see CrewMode).
+  CrewMode crew = CrewMode::kAuto;
 };
 
 class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
@@ -86,7 +125,7 @@ class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
 
   /// Conservative windows executed (outer drive-loop iterations). Like
   /// every SimCore observable, a pure function of (seed, config) — the
-  /// same at any worker/shard count.
+  /// same at any worker/shard/crew-mode combination.
   [[nodiscard]] std::uint64_t window_count() const noexcept {
     return windows_;
   }
@@ -94,24 +133,85 @@ class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
   [[nodiscard]] std::uint64_t deferred_fill_count() const noexcept {
     return deferred_fills_;
   }
+  /// Reply stubs finished at window barriers (one per probe/lookup that
+  /// reached its owner).
+  [[nodiscard]] std::uint64_t deferred_reply_count() const noexcept {
+    return deferred_replies_;
+  }
+  /// All banked crew tasks: fills + reply finishes. Config-pure, so the
+  /// bench reads batch-fill ratios off a single instrumented run.
+  [[nodiscard]] std::uint64_t crew_task_count() const noexcept {
+    return deferred_fills_ + deferred_replies_;
+  }
+  /// Windows whose banked work ran on the crew / inline on the sequencer.
+  /// Policy-dependent (CrewMode, host core count) — *not* trace-pure.
+  [[nodiscard]] std::uint64_t crew_window_count() const noexcept {
+    return crew_windows_;
+  }
+  [[nodiscard]] std::uint64_t inline_window_count() const noexcept {
+    return inline_windows_;
+  }
 
  private:
   friend class SimCore<ParallelNetSimulator>;
 
-  /// A next-hop resolution banked for the window barrier: complete the
-  /// ticket's payload (`at` field) from the forwarding node's fingers.
-  struct FillTask {
+  /// One unit of work banked for the window barrier, completing the
+  /// ticket's payload in place before it can pop.
+  struct CrewTask {
+    enum class Kind : std::uint8_t {
+      kNextHopFill,     // resolve `at` from node's finger table
+      kProbeReplyFinish,   // finish_probe_reply(payload, node, load)
+      kLookupReplyFinish,  // finish_lookup_reply(payload, node)
+    };
     MessageQueue::Ticket ticket;
-    std::uint32_t from = 0;
+    std::uint32_t node = 0;  // forwarding node or reply owner
+    std::uint32_t load = 0;  // owner load snapshot (probe replies only)
+    Kind kind = Kind::kNextHopFill;
   };
 
-  /// Deferred hop: the message goes on the wire immediately (latency draw
-  /// in sequential order) with `at` stale; the resolution is banked on
-  /// the forwarding node's shard mailbox for the barrier crew.
+  /// Deferred hop: the message goes on the wire immediately (latency delay
+  /// in sequential draw order, via transport_send below) with `at` stale;
+  /// the resolution is banked on the forwarding node's shard mailbox.
   void forward_hop(SimTime now, Message& m, std::uint32_t from) {
     const auto ticket = send_link(now, m);
-    mailboxes_[shard_of(from)].push_back({ticket, from});
-    ++fills_pending_;
+    bank(from, {ticket, from, 0, CrewTask::Kind::kNextHopFill});
+    ++deferred_fills_;
+  }
+
+  /// Deferred reply: push a stub — the request with its type pre-flipped,
+  /// so LinkCounters count the reply type at push exactly as the
+  /// sequential engine does — and bank the field rewrite. The load is
+  /// snapshotted *here*, at pop time: a kPlace later in this same window
+  /// mutates loads_ on the sequencer, and the reply must carry the value
+  /// the sequential engine would have read.
+  void deliver_probe(SimTime now, const Message& m) {
+    Message stub = m;
+    stub.type = MsgType::kProbeReply;
+    const auto ticket = send_link(now, stub);
+    bank(m.at, {ticket, m.at, loads_[m.at], CrewTask::Kind::kProbeReplyFinish});
+    ++deferred_replies_;
+  }
+
+  void deliver_lookup(SimTime now, const Message& m) {
+    Message stub = m;
+    stub.type = MsgType::kLookupReply;
+    const auto ticket = send_link(now, stub);
+    bank(m.at, {ticket, m.at, 0, CrewTask::Kind::kLookupReplyFinish});
+    ++deferred_replies_;
+  }
+
+  /// Every link send takes its delay from the pre-drawn block — handler
+  /// execution never steps the latency engine. The block replays the
+  /// kNetLatency substream in exact send order, so the schedule is
+  /// bit-identical to the sequential transport_.send() path (whose own
+  /// engine stays unconsumed here).
+  MessageQueue::Ticket transport_send(SimTime now, const Message& m) {
+    return transport_.send_at(now + latency_.next(), m);
+  }
+
+  void bank(std::uint32_t node, const CrewTask& task) {
+    mailboxes_[shard_of(node)].push_back(task);
+    ++tasks_pending_;
   }
 
   [[nodiscard]] std::uint32_t shard_of(std::uint32_t node) const noexcept {
@@ -119,17 +219,50 @@ class ParallelNetSimulator : public SimCore<ParallelNetSimulator> {
                                       shards_ / ring_->node_count());
   }
 
-  /// Window barrier: resolve every banked next hop, shard ranges split
-  /// across the crew. No-op when the window forwarded nothing.
+  /// Complete one banked task. Crew-callable: payloads are per-task
+  /// disjoint, next_hop and the protocol finishers read only immutable
+  /// state plus the task's own snapshot.
+  void run_task(const CrewTask& task) noexcept {
+    Message& m = queue().payload(task.ticket);
+    switch (task.kind) {
+      case CrewTask::Kind::kNextHopFill:
+        m.at = ring_->next_hop(task.node, m.key);
+        return;
+      case CrewTask::Kind::kProbeReplyFinish:
+        protocol::finish_probe_reply(m, task.node, task.load);
+        return;
+      case CrewTask::Kind::kLookupReplyFinish:
+        protocol::finish_lookup_reply(m, task.node);
+        return;
+    }
+  }
+
+  /// Window barrier: stage the next latency block and complete every
+  /// banked task — one fused crew epoch, or inline per the CrewMode
+  /// policy. No-op when the window banked nothing and the block is full.
   void finish_window();
+
+  /// Should this window's batch cross the barrier? (finish_window's
+  /// policy knob; see CrewMode.)
+  [[nodiscard]] bool engage_crew(std::size_t total_tasks) const noexcept;
 
   std::uint32_t shards_ = 1;
   parallel::WindowBarrier crew_;
-  std::vector<std::vector<FillTask>> mailboxes_;  // one per shard
-  std::size_t fills_pending_ = 0;
+  LatencyBlock latency_;
+  std::vector<std::vector<CrewTask>> mailboxes_;  // one per shard
+  std::size_t tasks_pending_ = 0;
   double lookahead_ = 0.0;
+  CrewMode crew_mode_ = CrewMode::kAuto;
+  /// More barrier participants than hardware threads at construction —
+  /// every crossing would cost a scheduler round trip, so kAuto stays
+  /// inline for the whole run.
+  bool oversubscribed_ = false;
   std::uint64_t windows_ = 0;
   std::uint64_t deferred_fills_ = 0;
+  std::uint64_t deferred_replies_ = 0;
+  std::uint64_t crew_windows_ = 0;
+  std::uint64_t inline_windows_ = 0;
+  std::uint64_t skipped_windows_ = 0;
 };
 
 }  // namespace geochoice::net

@@ -4,11 +4,18 @@
 // (parallel_simulator.hpp) must produce bit-identical traces: same RNG
 // draw order, same handler side effects, same hash folds, same event
 // schedule. The only way to guarantee that under maintenance is for them
-// to *be* the same code, so everything except the drive loop and one
-// routing step lives here in SimCore, a CRTP base both engines derive
-// from. The single customization point is forward_hop(): called when a
-// routed message must advance one Chord hop, after the hop counter and
-// sender field are updated but before the next-hop node is resolved.
+// to *be* the same code, so everything except the drive loop and a few
+// well-fenced steps lives here in SimCore, a CRTP base both engines
+// derive from. The customization points (CRTP name hiding, defaults
+// below) are exactly the work that consumes no randomness and no mutable
+// op state and can therefore leave the sequencing thread:
+//   * forward_hop()    — advance a routed message one Chord hop (the hop
+//     counter and sender are already updated; the next-hop resolution is
+//     what the parallel engine defers to its crew);
+//   * deliver_probe()  / deliver_lookup() — build the owner's reply (the
+//     load snapshot stays at pop time; the field rewrite can move);
+//   * transport_send() — the per-send latency draw (the parallel engine
+//     consumes a pre-drawn block instead of the live substream).
 //
 // All message motion goes through the net::Transport seam
 // (transport.hpp): the handlers call SimTransport::send / deliver_local
@@ -260,10 +267,36 @@ class SimCore {
 
   /// Schedule `m` across one link through the transport seam. Returns the
   /// queue ticket so a deferring engine can fill the payload later; the
-  /// sequential engine ignores it.
+  /// sequential engine ignores it. The transport step itself goes through
+  /// Derived::transport_send, so the parallel engine can substitute its
+  /// pre-drawn latency block for the on-demand substream draw.
   MessageQueue::Ticket send_link(SimTime now, const Message& m) {
     if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kScheduled, m);
+    return derived().transport_send(now, m);
+  }
+
+  /// Default transport step: sample one delay from the shared kNetLatency
+  /// substream and schedule — the sequential draw order. Overridable via
+  /// CRTP (name hiding), not virtual: the per-send cost is the hot path.
+  MessageQueue::Ticket transport_send(SimTime now, const Message& m) {
     return transport_.send(now, m);
+  }
+
+  /// A probe has arrived at its candidate owner `m.at`: answer with the
+  /// owner's load *now* (the reply-time snapshot the staleness study is
+  /// about). The parallel engine overrides this to queue a reply stub and
+  /// finish its fields on the barrier crew — the load snapshot still
+  /// happens here, at pop time, because a same-window kPlace may bump
+  /// this owner's load right after.
+  void deliver_probe(SimTime now, const Message& m) {
+    send_link(now, protocol::make_probe_reply(m, loads_[m.at]));
+  }
+
+  /// A lookup has arrived at the key's owner: answer. Overridable like
+  /// deliver_probe (the reply is a pure field rewrite, so the whole
+  /// construction can leave the sequencer).
+  void deliver_lookup(SimTime now, const Message& m) {
+    send_link(now, protocol::make_lookup_reply(m));
   }
 
   /// The event schedule, for the engines' drive loops only.
@@ -334,7 +367,7 @@ class SimCore {
   void on_probe(SimTime now, Message m) {
     if (!route_toward(now, m, m.dest)) return;
     if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
-    send_link(now, protocol::make_probe_reply(m, loads_[m.at]));
+    derived().deliver_probe(now, m);
   }
 
   void on_probe_reply(SimTime now, const Message& m) {
@@ -382,7 +415,7 @@ class SimCore {
   void on_lookup(SimTime now, Message m) {
     if (!route_toward(now, m, m.dest)) return;
     if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
-    send_link(now, protocol::make_lookup_reply(m));
+    derived().deliver_lookup(now, m);
   }
 
   void on_lookup_reply(SimTime now, const Message& m) {

@@ -72,8 +72,18 @@ class SimTransport {
   /// Returns the queue ticket so a deferring engine (the parallel DES)
   /// can complete the payload in place before it pops.
   Ticket send(SimTime now, const Message& m) {
+    const SimTime due = now + latency_.sample(gen_);
+    return send_at(due, m);
+  }
+
+  /// One link traversal with the delay already chosen: count the link and
+  /// schedule at the absolute `due` time, touching no RNG. The parallel
+  /// engine sends exclusively through this — its delays come from a
+  /// pre-drawn LatencyBlock, so this transport's latency engine stays
+  /// unconsumed there.
+  Ticket send_at(SimTime due, const Message& m) {
     links_.count(m.type);
-    return queue_.push(now + latency_.sample(gen_), m);
+    return queue_.push(due, m);
   }
 
   /// Zero-delay self-delivery: an operation starting at its own client

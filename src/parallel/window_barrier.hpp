@@ -3,20 +3,35 @@
 //
 // The conservative parallel simulator (net/parallel_simulator.hpp)
 // alternates short sequential drains with bursts of embarrassingly
-// parallel fill work at each window boundary. A ThreadPool fits badly
-// there: per-window submit() churns through std::function allocations and
-// queue locking for work that lasts microseconds. WindowBarrier instead
-// keeps `workers` long-lived participants — worker 0 is the *calling*
-// thread, so a 1-worker barrier spawns no threads and run() degenerates to
-// a plain call — and wakes the crew once per window with an epoch bump.
+// parallel work at each window boundary. A ThreadPool fits badly there:
+// per-window submit() churns through std::function allocations and queue
+// locking for work that lasts microseconds. WindowBarrier instead keeps
+// `workers` long-lived participants — worker 0 is the *calling* thread,
+// so a 1-worker barrier spawns no threads and run() degenerates to a
+// plain call — and opens each window with an atomic epoch bump.
+//
+// Wakeup discipline: spin-then-park. A window lasts microseconds, so a
+// worker that just finished one usually sees the next epoch within a few
+// thousand pause-spin iterations and never touches the mutex — the
+// condvar round trip (syscall + scheduler latency, ~5-30us) that made
+// tight window loops collapse under oversubscription is off the common
+// path. Only after the spin budget does a worker park on the condvar
+// (re-checking the epoch under the mutex, so a bump between the decision
+// and the wait cannot be lost — the caller bumps under the same mutex).
+// The caller symmetrically spin-waits for the crew's completion count
+// before parking on its own condvar; a worker grabs the mutex to notify
+// only when it was the last to finish and the caller actually parked.
+//
 // run(fn) invokes fn(w) for every w in [0, workers) and returns only when
 // all have finished, giving the caller a full happens-before edge in both
-// directions: crew members see every write the caller made before run(),
-// and the caller sees every write the crew made inside fn. Same safety
-// rules as ThreadPool: RAII thread ownership, condvar wakeups, first
+// directions: crew members see every write the caller made before run()
+// (mutex-protected epoch publication), and the caller sees every write
+// the crew made inside fn (acquire on the release-decremented pending
+// count). Same safety rules as ThreadPool: RAII thread ownership, first
 // exception captured and rethrown to the caller after the window drains.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +42,18 @@
 #include <vector>
 
 namespace geochoice::parallel {
+
+/// One polite busy-wait iteration (PAUSE/YIELD keeps the spinning
+/// hyperthread from starving its sibling and saves a little power).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
 
 class WindowBarrier {
  public:
@@ -44,8 +71,7 @@ class WindowBarrier {
   ~WindowBarrier() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      stopping_ = true;
-      ++epoch_;
+      stopping_.store(true, std::memory_order_release);
     }
     window_open_.notify_all();
     for (auto& t : threads_) t.join();
@@ -68,13 +94,27 @@ class WindowBarrier {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       fn_ = &fn;
-      pending_ = workers_ - 1;
-      ++epoch_;
+      pending_.store(workers_ - 1, std::memory_order_relaxed);
+      epoch_.fetch_add(1, std::memory_order_release);
+      if (parked_ > 0) window_open_.notify_all();
     }
-    window_open_.notify_all();
     invoke(fn, 0);
-    std::unique_lock<std::mutex> lock(mutex_);
-    window_done_.wait(lock, [this] { return pending_ == 0; });
+    for (int spins = 0;
+         pending_.load(std::memory_order_acquire) != 0; ++spins) {
+      if (spins >= kSpinIters) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        caller_parked_ = true;
+        window_done_.wait(lock, [this] {
+          return pending_.load(std::memory_order_relaxed) == 0;
+        });
+        caller_parked_ = false;
+        break;
+      }
+      cpu_relax();
+    }
+    // pending_ == 0 was read with acquire (or under the mutex the last
+    // worker notified through), so every crew write — including a
+    // first_error_ store — is visible here without another lock.
     fn_ = nullptr;
     if (first_error_ != nullptr) {
       const std::exception_ptr err = first_error_;
@@ -96,21 +136,38 @@ class WindowBarrier {
   void crew_loop(std::size_t w) {
     std::uint64_t seen = 0;
     for (;;) {
-      const std::function<void(std::size_t)>* fn = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        window_open_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
-        if (stopping_) return;
-        seen = epoch_;
-        fn = fn_;
+      for (int spins = 0;
+           epoch_.load(std::memory_order_acquire) == seen; ++spins) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (spins >= kSpinIters) {
+          std::unique_lock<std::mutex> lock(mutex_);
+          ++parked_;
+          window_open_.wait(lock, [&] {
+            return stopping_.load(std::memory_order_relaxed) ||
+                   epoch_.load(std::memory_order_relaxed) != seen;
+          });
+          --parked_;
+          break;  // re-read the epoch with acquire at the loop head
+        }
+        cpu_relax();
       }
-      invoke(*fn, w);
-      {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      seen = epoch_.load(std::memory_order_acquire);
+      invoke(*fn_, w);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last one out: wake the caller iff it gave up spinning. The
+        // mutex makes the parked-flag read race-free against the
+        // caller's park decision.
         const std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) window_done_.notify_one();
+        if (caller_parked_) window_done_.notify_one();
       }
     }
   }
+
+  /// Spin budget before parking, both directions. ~a few microseconds of
+  /// PAUSE iterations: longer than a typical window gap under load,
+  /// far shorter than wasting a timeslice.
+  static constexpr int kSpinIters = 4096;
 
   std::size_t workers_ = 1;
   std::vector<std::thread> threads_;
@@ -118,9 +175,11 @@ class WindowBarrier {
   std::condition_variable window_open_;
   std::condition_variable window_done_;
   const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::size_t pending_ = 0;
-  bool stopping_ = false;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+  std::size_t parked_ = 0;      // mutex-guarded
+  bool caller_parked_ = false;  // mutex-guarded
   std::exception_ptr first_error_;
 };
 

@@ -139,6 +139,24 @@ Engine resolve_engine(const Scenario& sc) noexcept {
   return Engine::kScalar;
 }
 
+std::size_t resolve_wire_workers(const Scenario& sc) noexcept {
+  if (sc.model != ExecModel::kWire || sc.transport != WireTransport::kSim ||
+      sc.engine != Engine::kAuto || sc.workers != 0) {
+    return sc.workers;
+  }
+  // The parallel engine needs a positive lookahead; zero-minimum models
+  // stay on the sequential NetSimulator rather than failing validation.
+  if (!(sc.latency.min() > 0.0)) return 0;
+  const std::size_t hw = resolve_threads(sc.threads);
+  if (hw < 4) return 0;
+  const std::uint64_t trials = sc.trials == 0 ? 1 : sc.trials;
+  // Trial-level parallelism (run_net_scenario's pool) already fills the
+  // machine when trials are plentiful; in-trial crews would only fight it.
+  if (trials > hw / 2) return 0;
+  const std::size_t per_trial = hw / static_cast<std::size_t>(trials);
+  return per_trial < 8 ? per_trial : 8;
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -512,7 +530,11 @@ void write_trace_file(const obs::TraceRecorder& rec, const std::string& path) {
   }
 }
 
-RunReport run_wire(const Scenario& sc) {
+RunReport run_wire(const Scenario& sc_in) {
+  // Resolve the kAuto worker rule first so validation, execution and the
+  // echoed spec all see the same concrete count.
+  Scenario sc = sc_in;
+  sc.workers = resolve_wire_workers(sc_in);
   validate_wire(sc);
   RunReport report;
   report.spec = sc;

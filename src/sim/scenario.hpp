@@ -136,7 +136,9 @@ struct Scenario {
   /// kSim: in-trial engine parallelism. 0 runs the sequential
   /// NetSimulator; >= 1 dispatches each trial on a ParallelNetSimulator
   /// with this worker count (bit-identical results; needs a latency model
-  /// with a positive minimum). Must be 0 for kUdp.
+  /// with a positive minimum). Must be 0 for kUdp. With engine == kAuto,
+  /// a 0 is resolved by resolve_wire_workers before validation — the
+  /// wire-model analogue of the structural kAuto engine rule.
   std::size_t workers = 0;
   /// kSim: ring shards for the parallel engine (0 = 4 per worker).
   std::uint32_t shards = 0;
@@ -251,6 +253,18 @@ struct RunReport {
 /// spaces have no bulk kernels). Depends on hardware_concurrency only
 /// through the kSharded rule when spec.threads == 0.
 [[nodiscard]] Engine resolve_engine(const Scenario& sc) noexcept;
+
+/// The worker count a kWire/kSim scenario with engine == kAuto and
+/// workers == 0 actually runs with — the wire-model analogue of
+/// resolve_engine. Trials already run in parallel, so in-trial workers
+/// only pay off when cores outnumber trials: 0 (sequential NetSimulator)
+/// unless the latency model has a positive minimum (the conservative
+/// lookahead), >= 4 hardware threads are available, and trials <= hw/2;
+/// otherwise hw/trials workers, capped at 8 (barrier costs grow with crew
+/// size faster than the parallel fraction). Explicit `workers`, a pinned
+/// engine, or a kUdp/structural spec pass through unchanged. Depends on
+/// hardware_concurrency only when sc.threads == 0.
+[[nodiscard]] std::size_t resolve_wire_workers(const Scenario& sc) noexcept;
 
 /// Execute the scenario: trials in parallel for scalar/batched (thread-
 /// count invariant), sequential trials with an intra-trial worker pool

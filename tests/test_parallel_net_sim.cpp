@@ -1,24 +1,33 @@
 // ParallelNetSimulator determinism suite: the conservative parallel
 // engine must be *indistinguishable* from NetSimulator — same golden
-// trace hash, same full event trace, same metrics — at every worker and
-// shard count, because both are the same SimCore logic and parallelism
-// only touches next-hop resolution (parallel_simulator.hpp explains why
-// that is the only safely extractable work).
+// trace hash, same full event trace, same metrics — at every worker,
+// shard and crew-mode combination, because both are the same SimCore
+// logic and the crew only runs randomness-free work: next-hop fills,
+// reply-field finishes, and pre-drawn latency transforms
+// (parallel_simulator.hpp explains why those are the extractable pieces).
+// Most sweeps pin CrewMode::kAlways so the barrier actually engages even
+// on small batches and few-core hosts — kAuto would run them inline and
+// quietly skip the concurrency under test.
 //
 // Test names deliberately share the ParallelNetSim prefix: the CI TSan
 // job scopes its run by that name, so every schedule-sensitive assertion
-// here also executes under ThreadSanitizer.
+// here also executes under ThreadSanitizer. LatencyBlock's differential
+// tests live here too, for the same TSan scoping.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "net/latency_block.hpp"
 #include "net/parallel_simulator.hpp"
 #include "net/simulator.hpp"
 #include "obs/obs.hpp"
 #include "parallel/window_barrier.hpp"
+#include "rng/streams.hpp"
 
 namespace gn = geochoice::net;
 namespace go = geochoice::obs;
@@ -68,14 +77,18 @@ TEST(ParallelNetSim, TraceBitIdenticalAcrossWorkersAndShards) {
   gn::NetSimulator seq(ring, cfg);
   const auto seq_metrics = seq.run();
   ASSERT_FALSE(seq.trace().empty());
-  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
-    for (const std::uint32_t shards : {1u, 4u, 16u}) {
-      const std::string label = "workers=" + std::to_string(workers) +
-                                " shards=" + std::to_string(shards);
-      gn::ParallelNetSimulator par(ring, cfg, {workers, shards});
-      const auto par_metrics = par.run();
-      expect_same_metrics(seq_metrics, par_metrics, label);
-      EXPECT_TRUE(par.trace() == seq.trace()) << label;
+  for (const auto mode : {gn::CrewMode::kAlways, gn::CrewMode::kNever}) {
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      for (const std::uint32_t shards : {1u, 4u, 16u}) {
+        const std::string label =
+            "workers=" + std::to_string(workers) +
+            " shards=" + std::to_string(shards) +
+            (mode == gn::CrewMode::kAlways ? " crew=always" : " crew=never");
+        gn::ParallelNetSimulator par(ring, cfg, {workers, shards, mode});
+        const auto par_metrics = par.run();
+        expect_same_metrics(seq_metrics, par_metrics, label);
+        EXPECT_TRUE(par.trace() == seq.trace()) << label;
+      }
     }
   }
 }
@@ -84,7 +97,8 @@ TEST(ParallelNetSim, GoldenTraceHashMatchesSequentialPin) {
   // The exact pin NetSim.GoldenTraceHash holds the sequential engine to:
   // the parallel engine meets the same number, proving it replays the
   // identical event sequence, not merely an equivalent one.
-  const auto m = gn::ParallelNetSimulator::simulate(mixed_config(), {4, 16});
+  const auto m = gn::ParallelNetSimulator::simulate(
+      mixed_config(), {4, 16, gn::CrewMode::kAlways});
   EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
 }
 
@@ -96,7 +110,8 @@ TEST(ParallelNetSim, GoldenHashUnchangedWithObsAndTracing) {
   go::TraceRecorder rec;
   auto cfg = mixed_config();
   cfg.trace = &rec;
-  const auto m = gn::ParallelNetSimulator::simulate(cfg, {4, 16});
+  const auto m =
+      gn::ParallelNetSimulator::simulate(cfg, {4, 16, gn::CrewMode::kAlways});
   go::set_enabled(false);
   EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
   if (go::compiled_in()) EXPECT_GT(rec.size(), 0u);
@@ -104,16 +119,20 @@ TEST(ParallelNetSim, GoldenHashUnchangedWithObsAndTracing) {
 
 TEST(ParallelNetSim, ObsCounterTotalsInvariantAcrossWorkersAndShards) {
   // The per-thread sinks merge to the same totals no matter how the crew
-  // is shaped: window count, deferred-fill count, and every net.* counter
-  // are properties of the event stream, not of the parallelism.
+  // is shaped *or whether it engages at all*: window count, task counts,
+  // batch histograms and every net.* counter are properties of the event
+  // stream, not of the parallelism. Only the parallel.barrier.* family
+  // (wall-clock spans, engagement outcomes) legitimately varies.
   if (!go::compiled_in()) GTEST_SKIP() << "obs layer compiled out";
-  const auto totals = [](std::size_t workers, std::uint32_t shards) {
+  const auto totals = [](std::size_t workers, std::uint32_t shards,
+                         gn::CrewMode mode) {
     go::Registry::global().reset();
     go::set_enabled(true);
     (void)gn::ParallelNetSimulator::simulate(mixed_config(),
-                                             {workers, shards});
+                                             {workers, shards, mode});
     go::set_enabled(false);
-    // Drop the barrier timer pair: wall-clock, legitimately run-varying.
+    // Drop the policy-dependent barrier family: wall-clock timer spans and
+    // crew/inline/skipped engagement counts, legitimately run-varying.
     std::vector<go::MetricValue> out;
     for (auto& m : go::Registry::global().snapshot()) {
       if (m.name.rfind("parallel.barrier", 0) == 0) continue;
@@ -121,11 +140,15 @@ TEST(ParallelNetSim, ObsCounterTotalsInvariantAcrossWorkersAndShards) {
     }
     return out;
   };
-  const auto base = totals(1, 1);
+  const auto base = totals(1, 1, gn::CrewMode::kNever);
   ASSERT_FALSE(base.empty());
-  for (const auto& [workers, shards] :
-       {std::pair<std::size_t, std::uint32_t>{2, 4}, {4, 16}}) {
-    const auto got = totals(workers, shards);
+  for (const auto& [workers, shards, mode] :
+       {std::tuple<std::size_t, std::uint32_t, gn::CrewMode>{
+            2, 4, gn::CrewMode::kAlways},
+        {4, 16, gn::CrewMode::kAlways},
+        {2, 4, gn::CrewMode::kNever},
+        {4, 4, gn::CrewMode::kAuto}}) {
+    const auto got = totals(workers, shards, mode);
     ASSERT_EQ(got.size(), base.size());
     for (std::size_t i = 0; i < base.size(); ++i) {
       EXPECT_EQ(got[i].name, base[i].name);
@@ -144,7 +167,7 @@ TEST(ParallelNetSim, ShardStarvedCrewStillExact) {
   cfg.lookups = 64;
   const auto ring = gn::NetSimulator::make_ring(cfg);
   const auto seq = gn::NetSimulator(ring, cfg).run();
-  gn::ParallelNetSimulator par(ring, cfg, {8, 2});
+  gn::ParallelNetSimulator par(ring, cfg, {8, 2, gn::CrewMode::kAlways});
   EXPECT_EQ(par.worker_count(), 8u);
   EXPECT_EQ(par.shard_count(), 2u);
   expect_same_metrics(seq, par.run(), "workers=8 shards=2");
@@ -158,8 +181,12 @@ TEST(ParallelNetSim, MaxEventsStopsOnTheSamePrefix) {
   const auto ring = gn::NetSimulator::make_ring(cfg);
   const auto seq = gn::NetSimulator(ring, cfg).run();
   ASSERT_EQ(seq.events, 777u);
-  gn::ParallelNetSimulator par(ring, cfg, {4, 8});
+  gn::ParallelNetSimulator par(ring, cfg, {4, 8, gn::CrewMode::kAlways});
   expect_same_metrics(seq, par.run(), "max_events=777");
+  // A mid-window cut still completes the banked tasks at the final
+  // barrier, but those payloads never pop — unobserved by construction —
+  // and the task counters reflect only the executed prefix's banking.
+  EXPECT_GT(par.crew_task_count(), 0u);
 }
 
 TEST(ParallelNetSim, LognormalFloorProvidesTheLookahead) {
@@ -204,6 +231,109 @@ TEST(ParallelNetSim, ShardCountClampsToRingSize) {
                       "shards clamped");
 }
 
+TEST(ParallelNetSim, ConstantLatencyDueExactlyAtBoundStaysExact) {
+  // With a constant model every send lands *exactly* at now + lookahead —
+  // the knife-edge of the conservative window. An event due precisely at
+  // the bound must fall into the next window (pop_before is strict), or a
+  // banked fill/reply would be popped before its barrier completes it.
+  // Zero-delay op starts issued mid-window ride the same edge.
+  auto cfg = mixed_config();
+  cfg.latency = gn::LatencyModel::constant(1.0);
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  const auto seq = gn::NetSimulator(ring, cfg).run();
+  gn::ParallelNetSimulator par(ring, cfg, {4, 8, gn::CrewMode::kAlways});
+  expect_same_metrics(seq, par.run(), "constant latency at bound");
+  // Constant models stage nothing (zero words per sample), so the banked
+  // handler tasks alone must have kept the crew engaged.
+  EXPECT_GT(par.deferred_reply_count(), 0u);
+  EXPECT_GT(par.crew_window_count(), 0u);
+}
+
+TEST(ParallelNetSim, CrewModePolicyCountersReflectMode) {
+  // Same event stream, opposite execution placement: kAlways crosses the
+  // barrier for every banked window, kNever for none. The trace-pure
+  // counters (windows, tasks) must agree; only the policy family differs.
+  const auto cfg = mixed_config();
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  gn::ParallelNetSimulator always(ring, cfg, {2, 4, gn::CrewMode::kAlways});
+  gn::ParallelNetSimulator never(ring, cfg, {2, 4, gn::CrewMode::kNever});
+  (void)always.run();
+  (void)never.run();
+  EXPECT_EQ(always.window_count(), never.window_count());
+  EXPECT_EQ(always.crew_task_count(), never.crew_task_count());
+  EXPECT_EQ(always.crew_task_count(),
+            always.deferred_fill_count() + always.deferred_reply_count());
+  EXPECT_GT(always.crew_window_count(), 0u);
+  EXPECT_EQ(always.inline_window_count(), 0u);
+  EXPECT_EQ(never.crew_window_count(), 0u);
+  EXPECT_GT(never.inline_window_count(), 0u);
+}
+
+TEST(ParallelNetSim, LatencyBlockReplaysSubstreamExactly) {
+  // The pre-drawn block must hand out the *bit-identical* delay sequence
+  // a live model.sample(gen) loop produces from the same substream, for
+  // every model kind, across staged refills (split transform ranges, the
+  // crew's call shape) and mid-window inline refills alike.
+  const std::uint64_t seed = 0x70726564726177ULL;  // "predraw"
+  const geochoice::net::LatencyModel models[] = {
+      gn::LatencyModel::constant(0.75),
+      gn::LatencyModel::uniform(0.5, 1.5),
+      gn::LatencyModel::lognormal(0.1, 0.5, 0.25),
+  };
+  for (const auto& model : models) {
+    auto ref = geochoice::rng::make_stream(
+        seed, 3, geochoice::rng::StreamPurpose::kNetLatency);
+    gn::LatencyBlock block(
+        model, geochoice::rng::make_stream(
+                   seed, 3, geochoice::rng::StreamPurpose::kNetLatency));
+    // Window sizes chosen to cover: smaller than the staging minimum,
+    // exactly at it, and far past it (forcing inline refill chunks).
+    const std::size_t window_draws[] = {3, 64, 1, 200, 500, 7};
+    for (const std::size_t draws : window_draws) {
+      const std::size_t staged = block.refill_begin();
+      // Split the transform as the crew would: two disjoint ranges.
+      block.transform_range(0, staged / 2);
+      block.transform_range(staged / 2, staged);
+      for (std::size_t i = 0; i < draws; ++i) {
+        ASSERT_EQ(block.next(), model.sample(ref))
+            << "kind=" << static_cast<int>(model.kind) << " window=" << draws
+            << " draw=" << i;
+      }
+    }
+    if (model.words_per_sample() > 0) {
+      // The 500-draw window outran any staging estimate: the sequencer
+      // fallback must have run, and it changed nothing above.
+      EXPECT_GT(block.inline_refills(), 0u);
+    }
+  }
+}
+
+TEST(ParallelNetSim, LatencyModelSampleSplitsIntoWords) {
+  // sample() must be exactly words_per_sample() engine words fed through
+  // sample_from_words — the contract that lets the block pre-draw words
+  // in bulk and transform them elsewhere.
+  const geochoice::net::LatencyModel models[] = {
+      gn::LatencyModel::constant(2.0),
+      gn::LatencyModel::uniform(1.0, 3.0),
+      gn::LatencyModel::lognormal(0.0, 1.0, 0.5),
+  };
+  const int expected_words[] = {0, 1, 2};
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto& model = models[k];
+    ASSERT_EQ(model.words_per_sample(), expected_words[k]);
+    auto gen_a = geochoice::rng::make_stream(
+        99, k, geochoice::rng::StreamPurpose::kNetLatency);
+    auto gen_b = geochoice::rng::make_stream(
+        99, k, geochoice::rng::StreamPurpose::kNetLatency);
+    for (int i = 0; i < 64; ++i) {
+      std::uint64_t words[2] = {0, 0};
+      for (int j = 0; j < model.words_per_sample(); ++j) words[j] = gen_b();
+      ASSERT_EQ(model.sample(gen_a), model.sample_from_words(words))
+          << "kind=" << static_cast<int>(model.kind) << " draw=" << i;
+    }
+  }
+}
+
 TEST(ParallelNetSim, WindowBarrierRunsEveryWorkerEachWindow) {
   gp::WindowBarrier crew(4);
   ASSERT_EQ(crew.worker_count(), 4u);
@@ -224,6 +354,26 @@ TEST(ParallelNetSim, WindowBarrierSingleWorkerSpawnsNoThreads) {
     ++calls;
   });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelNetSim, WindowBarrierSurvivesParkedWorkers) {
+  // Force both park paths of the spin-then-park discipline: idle gaps
+  // longer than any spin budget make the crew park between windows, and
+  // slow workers make the caller park mid-window. Every epoch must still
+  // run every worker exactly once — no missed wakeups, no double runs.
+  gp::WindowBarrier crew(4);
+  std::vector<std::atomic<int>> hits(4);
+  for (int round = 1; round <= 3; ++round) {
+    crew.run([&](std::size_t w) {
+      // Workers outlast the caller's spin budget, so the caller parks.
+      if (w != 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++hits[w];
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), round);
+    // Crew outlasts its own spin budget before the next epoch, so the
+    // workers park and the next run() must wake them through the condvar.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 TEST(ParallelNetSim, WindowBarrierPropagatesFirstException) {

@@ -372,6 +372,58 @@ TEST(ScenarioWire, ParallelWorkersAreBitIdentical) {
                    parallel.wire.stale_fraction);
 }
 
+// The wire-model kAuto rule, pinned host-independently the way
+// Scenario.AutoResolutionRules pins resolve_engine: sc.threads fixes the
+// core count the rule sees.
+TEST(ScenarioWire, AutoWorkersResolutionRules) {
+  auto sc = wire_scenario();
+  sc.engine = gm::Engine::kAuto;
+  sc.threads = 16;  // pin so the rule does not depend on this host
+  sc.trials = 4;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 4u);  // hw / trials
+  sc.trials = 2;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 8u);
+  sc.trials = 1;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 8u);  // 16/1, capped at 8
+  sc.trials = 12;  // trial-level parallelism already fills the machine
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 0u);
+  sc.trials = 4;
+  sc.threads = 2;  // too few cores to beat the sequencer
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 0u);
+  sc.threads = 16;
+  sc.latency = geochoice::net::LatencyModel::zero();  // no lookahead
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 0u);
+  sc.latency = geochoice::net::LatencyModel::constant(1.0);
+
+  // Explicit workers, a pinned engine, kUdp and structural specs all pass
+  // through unchanged — the rule fires only on kWire/kSim/kAuto/0.
+  sc.workers = 3;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 3u);
+  sc.workers = 0;
+  sc.engine = gm::Engine::kScalar;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 0u);
+  sc.engine = gm::Engine::kAuto;
+  sc.transport = gm::WireTransport::kUdp;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 0u);
+  sc.transport = gm::WireTransport::kSim;
+  sc.model = gm::ExecModel::kStructural;
+  EXPECT_EQ(gm::resolve_wire_workers(sc), 0u);
+}
+
+// run() applies the rule before validation and echoes the concrete count,
+// so rerunning the spec reproduces the run on any host.
+TEST(ScenarioWire, ReportEchoesResolvedWorkers) {
+  auto sc = wire_scenario();
+  sc.engine = gm::Engine::kAuto;
+  sc.threads = 16;
+  sc.trials = 2;
+  const auto report = gm::run(sc);
+  EXPECT_EQ(report.spec.workers, 8u);
+  EXPECT_NE(report.spec.engine, gm::Engine::kAuto);
+  const auto again = gm::run(report.spec);
+  EXPECT_EQ(report.max_load, again.max_load);
+}
+
 TEST(ScenarioWire, ValidatesWireSpecs) {
   {
     auto sc = wire_scenario();
