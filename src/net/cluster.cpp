@@ -59,6 +59,8 @@ ClusterResult run_loopback_cluster(const ClusterConfig& cfg) {
           case MsgType::kProbe:
           case MsgType::kPlace:
           case MsgType::kLookup:
+          case MsgType::kPut:
+          case MsgType::kGet:
             nodes[i].on_message(m);
             return;
           default:
@@ -79,7 +81,10 @@ ClusterResult run_loopback_cluster(const ClusterConfig& cfg) {
     result.datagrams += t->links().total;
     result.malformed += t->malformed();
   }
-  for (const auto& n : nodes) result.stale_reads += n.stale_reads();
+  for (const auto& n : nodes) {
+    result.stale_reads += n.stale_reads();
+    result.keys_stored += n.keys_stored();
+  }
   result.elapsed_ms = clock.now_ms();
   return result;
 }

@@ -38,6 +38,9 @@ struct ClusterResult {
   std::uint64_t malformed = 0;
   /// Placements the owners observed landing on stale load information.
   std::uint64_t stale_reads = 0;
+  /// Distinct keys holding a value across all node stores after the run
+  /// (== inserts when the store phase ran, 0 otherwise).
+  std::uint64_t keys_stored = 0;
   /// Wall-clock of the whole run.
   std::uint64_t elapsed_ms = 0;
 };

@@ -1,7 +1,7 @@
 // message.hpp — the typed wire protocol of the simulated DHT.
 //
-// Six message types model the paper's two-choice insertion and Chord
-// lookups at wire granularity:
+// Ten message types model the paper's two-choice insertion, Chord
+// lookups, and value serving at wire granularity:
 //
 //   insert op:  kProbe        client -> (routed) candidate owner
 //               kProbeReply   owner  -> client, carries the owner's load
@@ -13,6 +13,14 @@
 //               kPlaceAck     owner  -> client
 //   lookup op:  kLookup       client -> (routed) key owner
 //               kLookupReply  owner  -> client
+//   store op:   kPut          client -> placed owner (direct; placement
+//                             already taught the client the address).
+//                             Idempotent overwrite, so a retransmitted
+//                             put needs no dedup state on the owner.
+//               kPutAck       owner  -> client
+//               kGet          client -> owner (direct), value = key id
+//               kGetReply     owner  -> client, value = stored bytes,
+//                             probe = 1 hit / 0 miss
 //
 // Routed messages hop node-to-node along Chord fingers, one link delay and
 // one `hops` increment per forward; direct messages cost a single link.
@@ -31,6 +39,10 @@ enum class MsgType : std::uint8_t {
   kPlaceAck,
   kLookup,
   kLookupReply,
+  kPut,
+  kPutAck,
+  kGet,
+  kGetReply,
 };
 
 [[nodiscard]] constexpr const char* to_string(MsgType t) noexcept {
@@ -47,11 +59,19 @@ enum class MsgType : std::uint8_t {
       return "lookup";
     case MsgType::kLookupReply:
       return "lookup_reply";
+    case MsgType::kPut:
+      return "put";
+    case MsgType::kPutAck:
+      return "put_ack";
+    case MsgType::kGet:
+      return "get";
+    case MsgType::kGetReply:
+      return "get_reply";
   }
   return "?";
 }
 
-inline constexpr int kMsgTypeCount = 6;
+inline constexpr int kMsgTypeCount = 10;
 
 struct Message {
   MsgType type = MsgType::kProbe;
@@ -85,6 +105,11 @@ struct Message {
   /// client O(1) generation-checked access to its op state with no map
   /// lookup. Deterministic (pool allocation order is), not hash-folded.
   std::uint64_t slot = 0;
+  /// Store payload: the value bytes on kPut and kGetReply, the requested
+  /// store key id on kGet. Like dest/slot it is derived data the handlers
+  /// recompute deterministically, so it is not folded into the golden
+  /// trace hash — pre-store configs keep their pinned hashes bit-exact.
+  std::uint64_t value = 0;
 
   friend bool operator==(const Message&, const Message&) = default;
 };

@@ -8,10 +8,12 @@
 //
 //   * NodeLogic: the server half. Routes probes/lookups one Chord hop
 //     (the same ring.next_hop the simulators call), answers the ones it
-//     owns, applies placements. It is deliberately state-light: probes
-//     read the load, placements bump it, and the only memory beyond the
-//     counter is the at-most-once dedup set that makes client
-//     retransmits safe.
+//     owns, applies placements, and serves values from its HashStore
+//     (kPut writes are idempotent overwrites, so retransmits need no
+//     dedup; kGet answers from local state only). Beyond the store, it
+//     is deliberately state-light: probes read the load, placements bump
+//     it, and the only other memory is the at-most-once dedup set that
+//     makes placement retransmits safe.
 //   * ClientDriver: the client half. Issues the two-choice insertion
 //     workload (and measurement lookups), collects replies, picks
 //     candidates with protocol::pick_best_candidate — the *same kernel*
@@ -36,6 +38,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_set>
@@ -48,9 +51,11 @@
 #include "net/protocol.hpp"
 #include "net/sim_core.hpp"
 #include "obs/trace.hpp"
+#include "rng/alias_table.hpp"
 #include "rng/streams.hpp"
 #include "stats/p2_quantile.hpp"
 #include "stats/summary.hpp"
+#include "store/hash_store.hpp"
 
 namespace geochoice::net {
 
@@ -67,8 +72,9 @@ class NodeLogic {
             Transport& transport, obs::TraceRecorder* trace = nullptr)
       : ring_(&ring), self_(self), transport_(&transport), trace_(trace) {}
 
-  /// Handle one request datagram (kProbe / kPlace / kLookup). Reply
-  /// types are the client's business — route them to a ClientDriver.
+  /// Handle one request datagram (kProbe / kPlace / kLookup / kPut /
+  /// kGet). Reply types are the client's business — route them to a
+  /// ClientDriver.
   void on_message(const Message& msg) {
     switch (msg.type) {
       case MsgType::kProbe: {
@@ -88,6 +94,22 @@ class NodeLogic {
         transport_->send(protocol::make_lookup_reply(m));
         return;
       }
+      case MsgType::kPut: {
+        // Direct message (the client knows our address from the placement
+        // phase): store and ack. Overwrite semantics make a retransmitted
+        // put — its first ack lost — naturally at-most-once.
+        trace_event(obs::TracePhase::kDelivered, msg);
+        store_.put_u64(msg.op, msg.value);
+        transport_->send(protocol::make_put_ack(msg));
+        return;
+      }
+      case MsgType::kGet: {
+        trace_event(obs::TracePhase::kDelivered, msg);
+        const auto v = store_.get_u64(msg.value);
+        transport_->send(
+            protocol::make_get_reply(msg, v.has_value(), v.value_or(0)));
+        return;
+      }
       default:
         break;  // replies and acks: not ours
     }
@@ -95,6 +117,10 @@ class NodeLogic {
 
   [[nodiscard]] std::uint32_t load() const noexcept { return load_; }
   [[nodiscard]] std::uint64_t stale_reads() const noexcept { return stale_; }
+  /// Distinct keys with a stored value (== the store's live key count).
+  [[nodiscard]] std::uint64_t keys_stored() const noexcept {
+    return store_.size();
+  }
 
  private:
   /// Forward one greedy Chord hop unless the message has arrived
@@ -167,6 +193,9 @@ class NodeLogic {
   std::uint64_t stale_ = 0;
   std::unordered_set<std::uint64_t> placed_;
   std::deque<std::uint64_t> placed_fifo_;
+  /// The node's value store; starts at the minimum capacity and grows
+  /// incrementally with its keyset.
+  store::HashStore store_{store::HashStore::kNeighborhood};
 };
 
 /// What a finished cluster run hands back — the same quantities
@@ -189,10 +218,18 @@ struct DriverReport {
   [[nodiscard]] std::uint64_t total_retransmits() const noexcept {
     return data_retransmits + census_retries;
   }
+  /// Store phase: value writes acknowledged, reads answered, and reads
+  /// the owner missed (zero on any transport that delivers eventually —
+  /// every get targets a key its put already stored).
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_misses = 0;
   stats::RunningStats insert_latency_us;
   stats::RunningStats lookup_latency_us;
+  stats::RunningStats get_latency_us;
   stats::P2QuantileSet insert_latency_us_q{{0.5, 0.9, 0.99}};
   stats::P2QuantileSet lookup_latency_us_q{{0.5, 0.9, 0.99}};
+  stats::P2QuantileSet get_latency_us_q{{0.5, 0.9, 0.99}};
 };
 
 struct DriverConfig {
@@ -203,6 +240,12 @@ struct DriverConfig {
   core::TieBreak tie = core::TieBreak::kFirstChoice;
   std::uint64_t seed = 0;
   std::uint64_t trial = 0;
+  /// Store reads issued once every key has been put; 0 keeps the store
+  /// phases — and the RNG draws their key sampling consumes — entirely
+  /// out of the run, exactly like NetConfig::store_gets.
+  std::uint64_t store_gets = 0;
+  /// Zipf exponent of the read key popularity (0 = uniform).
+  double store_zipf_alpha = 0.9;
   /// Retransmit alarm per in-flight op phase. Loopback never needs it;
   /// it exists so a dropped datagram stalls an op for milliseconds, not
   /// forever.
@@ -242,6 +285,15 @@ class ClientDriver {
     report_.placements.assign(cfg.inserts, 0);
     insert_ops_.reserve(cfg.window);
     lookup_ops_.reserve(cfg.window);
+    if (cfg.store_gets > 0) {
+      if (cfg.inserts == 0) {
+        throw std::invalid_argument(
+            "ClientDriver: store gets need inserted keys to read");
+      }
+      store_keys_.emplace(
+          rng::zipf_weights(cfg.inserts, cfg.store_zipf_alpha));
+      store_ops_.reserve(cfg.window);
+    }
   }
 
   /// Issue the first window. Call once, then pump the transport.
@@ -254,10 +306,10 @@ class ClientDriver {
   /// The finished run's report; meaningful once done().
   [[nodiscard]] const DriverReport& report() const noexcept { return report_; }
 
-  /// Handle one reply datagram (kProbeReply / kPlaceAck / kLookupReply).
-  /// Duplicates — a retransmitted request whose first answer also made it
-  /// — are detected and dropped at every step; real networks deliver
-  /// twice.
+  /// Handle one reply datagram (kProbeReply / kPlaceAck / kLookupReply /
+  /// kPutAck / kGetReply). Duplicates — a retransmitted request whose
+  /// first answer also made it — are detected and dropped at every step;
+  /// real networks deliver twice.
   void on_reply(const Message& m) {
     switch (m.type) {
       case MsgType::kProbeReply:
@@ -272,6 +324,12 @@ class ClientDriver {
         return;
       case MsgType::kLookupReply:
         on_lookup_reply(m);
+        return;
+      case MsgType::kPutAck:
+        on_put_ack(m);
+        return;
+      case MsgType::kGetReply:
+        on_get_reply(m);
         return;
       default:
         return;  // a request echoed back is noise, not ours to serve
@@ -295,6 +353,31 @@ class ClientDriver {
         ++report_.data_retransmits;
         const Message resend = protocol::make_lookup(
             self(), op->op, op->key, ring_->successor(op->key), t.slot);
+        trace_event(obs::TracePhase::kRetransmit, resend);
+        transport_->send(resend);
+        op->timer = transport_->schedule(cfg_.retransmit_ms, t);
+        return;
+      }
+      case MsgType::kPut: {
+        StoreOp* op = store_ops_.try_get(StorePool::Handle::unpack(t.slot));
+        if (op == nullptr || op->is_get || op->op != t.op) return;
+        ++report_.data_retransmits;
+        // Resending the identical put is safe: the owner overwrites with
+        // the same bytes.
+        const Message resend = protocol::make_put(
+            self(), owner_of(op->key_id), op->key_id,
+            protocol::store_value(op->key_id), t.slot);
+        trace_event(obs::TracePhase::kRetransmit, resend);
+        transport_->send(resend);
+        op->timer = transport_->schedule(cfg_.retransmit_ms, t);
+        return;
+      }
+      case MsgType::kGet: {
+        StoreOp* op = store_ops_.try_get(StorePool::Handle::unpack(t.slot));
+        if (op == nullptr || !op->is_get || op->op != t.op) return;
+        ++report_.data_retransmits;
+        const Message resend = protocol::make_get(
+            self(), op->op, owner_of(op->key_id), op->key_id, t.slot);
         trace_event(obs::TracePhase::kRetransmit, resend);
         transport_->send(resend);
         op->timer = transport_->schedule(cfg_.retransmit_ms, t);
@@ -334,8 +417,19 @@ class ClientDriver {
     double key = 0.0;
     typename Transport::Timer timer{};
   };
+  /// One in-flight store op; puts and gets share the pool, the
+  /// discriminator keeps a stale ack for one kind from matching a
+  /// recycled slot holding the other.
+  struct StoreOp {
+    std::uint64_t start_us = 0;
+    std::uint64_t op = 0;      // put: the key id itself; get: read index
+    std::uint64_t key_id = 0;
+    bool is_get = false;
+    typename Transport::Timer timer{};
+  };
   using InsertPool = core::ObjectPool<InsertOp>;
   using LookupPool = core::ObjectPool<LookupOp>;
+  using StorePool = core::ObjectPool<StoreOp>;
 
   [[nodiscard]] std::uint32_t self() const noexcept {
     return transport_->self();
@@ -360,19 +454,29 @@ class ClientDriver {
     while (insert_ops_.live() < cfg_.window && next_insert_ < cfg_.inserts) {
       issue_insert();
     }
-    if (report_.inserts == cfg_.inserts) {
-      while (lookup_ops_.live() < cfg_.window &&
-             next_lookup_ < cfg_.lookups) {
-        issue_lookup();
+    if (report_.inserts != cfg_.inserts) return;
+    while (lookup_ops_.live() < cfg_.window && next_lookup_ < cfg_.lookups) {
+      issue_lookup();
+    }
+    if (report_.lookups != cfg_.lookups) return;
+    // Store phases, mirroring SimCore: write every placed key's value to
+    // the owner the placement phase recorded, then read keys back with
+    // Zipf popularity.
+    if (cfg_.store_gets > 0) {
+      while (store_ops_.live() < cfg_.window && next_put_ < cfg_.inserts) {
+        issue_put();
       }
-      // Workload drained: read the final loads back. One census probe in
-      // flight at a time keeps this trivially at-most-once.
-      if (report_.lookups == cfg_.lookups &&
-          census_next_ == census_got_ &&
-          census_next_ < ring_->node_count()) {
-        send_census(census_next_++);
-        arm_census_timer();
+      if (report_.puts != cfg_.inserts) return;
+      while (store_ops_.live() < cfg_.window && next_get_ < cfg_.store_gets) {
+        issue_get();
       }
+      if (report_.gets != cfg_.store_gets) return;
+    }
+    // Workload drained: read the final loads back. One census probe in
+    // flight at a time keeps this trivially at-most-once.
+    if (census_next_ == census_got_ && census_next_ < ring_->node_count()) {
+      send_census(census_next_++);
+      arm_census_timer();
     }
   }
 
@@ -422,6 +526,56 @@ class ClientDriver {
     alarm.slot = slot;
     lookup_ops_.get(handle).timer = transport_->schedule(cfg_.retransmit_ms,
                                                          alarm);
+  }
+
+  /// The node the placement phase recorded for `key_id` — the address
+  /// every store op for that key goes to directly.
+  [[nodiscard]] std::uint32_t owner_of(std::uint64_t key_id) const noexcept {
+    return report_.placements[key_id];
+  }
+
+  void issue_put() {
+    const std::uint64_t key_id = next_put_++;
+    StoreOp rec;
+    rec.start_us = transport_->now_us();
+    rec.op = key_id;
+    rec.key_id = key_id;
+    const auto handle = store_ops_.emplace(rec);
+    const std::uint64_t slot = handle.pack();
+    const Message m =
+        protocol::make_put(self(), owner_of(key_id), key_id,
+                           protocol::store_value(key_id), slot);
+    trace_event(obs::TracePhase::kScheduled, m);
+    transport_->send(m);
+    Message alarm;
+    alarm.type = MsgType::kPut;
+    alarm.op = key_id;
+    alarm.slot = slot;
+    store_ops_.get(handle).timer =
+        transport_->schedule(cfg_.retransmit_ms, alarm);
+  }
+
+  void issue_get() {
+    const std::uint64_t op_id = next_get_++;
+    StoreOp rec;
+    rec.start_us = transport_->now_us();
+    rec.op = op_id;
+    // Same sampler, same stream as the simulator: key popularity drawn
+    // from the candidate stream at issue time, in operation order.
+    rec.key_id = store_keys_->sample(candidates_);
+    rec.is_get = true;
+    const auto handle = store_ops_.emplace(rec);
+    const std::uint64_t slot = handle.pack();
+    const Message m = protocol::make_get(self(), op_id, owner_of(rec.key_id),
+                                         rec.key_id, slot);
+    trace_event(obs::TracePhase::kScheduled, m);
+    transport_->send(m);
+    Message alarm;
+    alarm.type = MsgType::kGet;
+    alarm.op = op_id;
+    alarm.slot = slot;
+    store_ops_.get(handle).timer =
+        transport_->schedule(cfg_.retransmit_ms, alarm);
   }
 
   void resend_insert(const InsertOp& op, std::uint64_t slot) {
@@ -499,6 +653,38 @@ class ClientDriver {
     advance();
   }
 
+  void on_put_ack(const Message& m) {
+    const auto h = StorePool::Handle::unpack(m.slot);
+    StoreOp* op = store_ops_.try_get(h);
+    if (op == nullptr || op->is_get || op->op != m.op) return;  // duplicate
+    trace_event(obs::TracePhase::kDelivered, m);
+    if (transport_->armed(op->timer)) transport_->cancel(op->timer);
+    store_ops_.release(h);
+    ++report_.puts;
+    advance();
+  }
+
+  void on_get_reply(const Message& m) {
+    const auto h = StorePool::Handle::unpack(m.slot);
+    StoreOp* op = store_ops_.try_get(h);
+    if (op == nullptr || !op->is_get || op->op != m.op) return;  // duplicate
+    trace_event(obs::TracePhase::kDelivered, m);
+    if (transport_->armed(op->timer)) transport_->cancel(op->timer);
+    if (m.probe == 0) {
+      ++report_.get_misses;
+    } else if (m.value != protocol::store_value(op->key_id)) {
+      // Values are a fixed function of the key in both worlds; anything
+      // else is corruption, not load.
+      throw std::logic_error("ClientDriver: get returned a wrong value");
+    }
+    const double us = static_cast<double>(transport_->now_us() - op->start_us);
+    report_.get_latency_us.add(us);
+    report_.get_latency_us_q.add(us);
+    store_ops_.release(h);
+    ++report_.gets;
+    advance();
+  }
+
   void send_census(std::uint32_t node) {
     // successor(node_id(i)) == i: a probe keyed at the node's own ring
     // position lands exactly there. Probes mutate nothing server-side, so
@@ -533,8 +719,13 @@ class ClientDriver {
   rng::DefaultEngine ties_;
   InsertPool insert_ops_;
   LookupPool lookup_ops_;
+  StorePool store_ops_;
+  /// Read-key popularity; engaged only when the store phases run.
+  std::optional<rng::AliasTable> store_keys_;
   std::uint64_t next_insert_ = 0;
   std::uint64_t next_lookup_ = 0;
+  std::uint64_t next_put_ = 0;
+  std::uint64_t next_get_ = 0;
   std::uint32_t census_next_ = 0;
   std::uint32_t census_got_ = 0;
   typename Transport::Timer census_timer_{};

@@ -25,6 +25,7 @@
 #include "core/tie_breaking.hpp"
 #include "net/message.hpp"
 #include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace geochoice::net::protocol {
@@ -172,6 +173,75 @@ inline void finish_lookup_reply(Message& r, std::uint32_t owner) noexcept {
 [[nodiscard]] inline Message make_lookup_reply(const Message& lookup) noexcept {
   Message r = lookup;
   finish_lookup_reply(r, lookup.at);
+  return r;
+}
+
+/// Deterministic value bytes for store key id `key_id`: derived by a
+/// fixed mix, never drawn, so the store phase consumes no extra RNG and
+/// both worlds (simulator and cluster) write — and can verify — the same
+/// value for the same key.
+[[nodiscard]] inline std::uint64_t store_value(std::uint64_t key_id) noexcept {
+  return rng::mix64(key_id + 0x9e3779b97f4a7c15ULL);
+}
+
+/// The client's value write for store key id `key_id`, sent directly to
+/// the owner the placement phase chose (the recorded placements taught
+/// the client the address); a put's op id IS its key id. `value` carries
+/// the bytes; the write is an idempotent overwrite, so a retransmit
+/// needs no owner-side dedup.
+[[nodiscard]] inline Message make_put(std::uint32_t client,
+                                      std::uint32_t owner,
+                                      std::uint64_t key_id,
+                                      std::uint64_t value,
+                                      std::uint64_t slot) noexcept {
+  Message m;
+  m.type = MsgType::kPut;
+  m.at = owner;
+  m.from = client;
+  m.client = client;
+  m.op = key_id;
+  m.slot = slot;
+  m.value = value;
+  return m;
+}
+
+/// The owner's acknowledgment of a put. `put.at` is the owner.
+[[nodiscard]] inline Message make_put_ack(const Message& put) noexcept {
+  Message ack = put;
+  ack.type = MsgType::kPutAck;
+  ack.at = put.client;
+  ack.from = put.at;
+  return ack;
+}
+
+/// The client's value read for store key id `key_id`, sent directly to
+/// the owner it placed the key at. `value` carries the key id on the
+/// request; the reply overwrites it with the stored bytes.
+[[nodiscard]] inline Message make_get(std::uint32_t client, std::uint64_t op,
+                                      std::uint32_t owner,
+                                      std::uint64_t key_id,
+                                      std::uint64_t slot) noexcept {
+  Message m;
+  m.type = MsgType::kGet;
+  m.at = owner;
+  m.from = client;
+  m.client = client;
+  m.op = op;
+  m.slot = slot;
+  m.value = key_id;
+  return m;
+}
+
+/// The owner's answer to an arrived get: the stored value (probe = 1) or
+/// a miss (probe = 0, value untouched). `get.at` is the owner.
+[[nodiscard]] inline Message make_get_reply(const Message& get, bool hit,
+                                            std::uint64_t value) noexcept {
+  Message r = get;
+  r.type = MsgType::kGetReply;
+  r.at = get.client;
+  r.from = get.at;
+  r.probe = hit ? 1 : 0;
+  if (hit) r.value = value;
   return r;
 }
 

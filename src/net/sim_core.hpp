@@ -51,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "core/object_pool.hpp"
 #include "core/tie_breaking.hpp"
 #include "dht/chord.hpp"
@@ -61,9 +63,11 @@
 #include "net/transport.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "rng/alias_table.hpp"
 #include "rng/streams.hpp"
 #include "stats/p2_quantile.hpp"
 #include "stats/summary.hpp"
+#include "store/hash_store.hpp"
 
 namespace geochoice::net {
 
@@ -87,6 +91,15 @@ struct NetConfig {
   LatencyModel latency = LatencyModel::constant(1.0);
   /// Measurement lookups issued after all inserts complete.
   std::uint64_t lookups = 0;
+  /// Store workload: when > 0, each node carries a store::HashStore and —
+  /// after every insert is acknowledged and every lookup answered — the
+  /// clients write one value per placed key (kPut, direct to the recorded
+  /// owner) and then issue this many Zipf-popular reads (kGet). 0 keeps
+  /// the store machinery entirely out of the run: no extra RNG draws, no
+  /// new message kinds, so pre-store golden trace hashes stay bit-exact.
+  std::uint64_t store_gets = 0;
+  /// Zipf exponent of the read key popularity (0 = uniform).
+  double store_zipf_alpha = 0.9;
   std::uint64_t seed = 0x6e657473696d2121ULL;  // "netsim!!"
   std::uint64_t trial = 0;
   /// Record the full executed-event trace (tests; costs memory).
@@ -120,17 +133,27 @@ struct NetMetrics {
   std::uint64_t stale_reads = 0;
   std::uint64_t inserts = 0;
   std::uint64_t lookups = 0;
+  /// Store workload (zero unless cfg.store_gets > 0).
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_misses = 0;
   std::uint32_t max_load = 0;
   std::vector<std::uint32_t> loads;  // final keys per node (ring order)
+  /// Owner node of every placed key, by insert op id — the map the store
+  /// phase writes through and the serving harness replays. Recorded for
+  /// every run (pure bookkeeping: no RNG, not hash-folded).
+  std::vector<std::uint32_t> placements;
   /// Chord path length per lookup: forwards excluding the final delivery
   /// hop onto the owner (the node before it already resolved the query).
   /// Mean ~ 1/2 * log2(n); the full wire path is one hop longer.
   stats::RunningStats lookup_hops;
   stats::RunningStats insert_latency;
   stats::RunningStats lookup_latency;
+  stats::RunningStats get_latency;
   stats::P2QuantileSet lookup_hops_q{{0.5, 0.9, 0.99}};
   stats::P2QuantileSet insert_latency_q{{0.5, 0.9, 0.99}};
   stats::P2QuantileSet lookup_latency_q{{0.5, 0.9, 0.99}};
+  stats::P2QuantileSet get_latency_q{{0.5, 0.9, 0.99}};
   SimTime end_time = 0.0;
   /// FNV-1a fold of every executed event (time, message fields): the
   /// golden-trace fingerprint the determinism tests pin.
@@ -198,8 +221,17 @@ class SimCore {
     SimTime start = 0.0;
     std::uint64_t op = 0;
   };
+  /// One in-flight store operation (put or get). For puts op == key_id;
+  /// for gets op is the read index and key_id the Zipf-drawn key, kept so
+  /// the reply handler can verify the returned value.
+  struct StoreOp {
+    SimTime start = 0.0;
+    std::uint64_t op = 0;
+    std::uint64_t key_id = 0;
+  };
   using InsertPool = core::ObjectPool<InsertOp>;
   using LookupPool = core::ObjectPool<LookupOp>;
+  using StorePool = core::ObjectPool<StoreOp>;
 
   /// `ring` must outlive the simulator and must have finger tables built.
   SimCore(const dht::ChordRing& ring, const NetConfig& cfg)
@@ -237,6 +269,24 @@ class SimCore {
     // One slot per windowed operation: after this the pools never allocate.
     insert_ops_.reserve(cfg.window);
     lookup_ops_.reserve(cfg.window);
+    metrics_.placements.assign(total_inserts_, 0);
+    if (cfg.store_gets > 0) {
+      store_ops_.reserve(cfg.window);
+      stores_.reserve(ring.node_count());
+      for (std::size_t i = 0; i < ring.node_count(); ++i) {
+        stores_.emplace_back(store::HashStore::kNeighborhood);
+      }
+      const auto weights = rng::zipf_weights(
+          static_cast<std::size_t>(total_inserts_), cfg.store_zipf_alpha);
+      store_keys_.emplace(weights);
+    }
+  }
+
+  /// Value bytes for a store key: the shared derivation both worlds use
+  /// (no RNG beyond the store phase's client picks and Zipf key draws).
+  [[nodiscard]] static std::uint64_t store_value(
+      std::uint64_t key_id) noexcept {
+    return protocol::store_value(key_id);
   }
 
   [[nodiscard]] Derived& derived() noexcept {
@@ -330,16 +380,46 @@ class SimCore {
         protocol::make_lookup(client, op, key, ring_->successor(key), slot));
   }
 
+  /// Write the value for key id `next_put_` to the owner the placement
+  /// phase recorded — direct send, one link, like kPlace.
+  void issue_put(SimTime now) {
+    const std::uint64_t key_id = next_put_++;
+    const std::uint32_t client = pick_client();
+    const auto slot = store_ops_.emplace(StoreOp{now, key_id, key_id}).pack();
+    send_link(now, protocol::make_put(client, metrics_.placements[key_id],
+                                      key_id, store_value(key_id), slot));
+  }
+
+  /// Read a Zipf-popular key from its recorded owner.
+  void issue_get(SimTime now) {
+    const std::uint64_t op = next_get_++;
+    const auto key_id =
+        static_cast<std::uint64_t>(store_keys_->sample(candidates_));
+    const std::uint32_t client = pick_client();
+    const auto slot = store_ops_.emplace(StoreOp{now, op, key_id}).pack();
+    send_link(now, protocol::make_get(client, op, metrics_.placements[key_id],
+                                      key_id, slot));
+  }
+
   void advance_phase(SimTime now) {
     while (insert_ops_.live() < cfg_.window && next_insert_ < total_inserts_) {
       issue_insert(now);
     }
     // Lookups measure the settled ring: they start only once every insert
     // has been acknowledged.
-    if (done_inserts_ == total_inserts_) {
-      while (lookup_ops_.live() < cfg_.window && next_lookup_ < cfg_.lookups) {
-        issue_lookup(now);
-      }
+    if (done_inserts_ != total_inserts_) return;
+    while (lookup_ops_.live() < cfg_.window && next_lookup_ < cfg_.lookups) {
+      issue_lookup(now);
+    }
+    // The store phase runs last — writes need the full placement map, and
+    // reads go against the fully written store (a miss is a hard error).
+    if (cfg_.store_gets == 0 || metrics_.lookups != cfg_.lookups) return;
+    while (store_ops_.live() < cfg_.window && next_put_ < total_inserts_) {
+      issue_put(now);
+    }
+    if (done_puts_ != total_inserts_) return;
+    while (store_ops_.live() < cfg_.window && next_get_ < cfg_.store_gets) {
+      issue_get(now);
     }
   }
 
@@ -398,6 +478,7 @@ class SimCore {
     if (loads_[here] != m.load) ++metrics_.stale_reads;
     const std::uint32_t new_load = ++loads_[here];
     if (new_load > metrics_.max_load) metrics_.max_load = new_load;
+    metrics_.placements[m.op] = here;
     send_link(now, protocol::make_place_ack(m));
   }
 
@@ -435,6 +516,55 @@ class SimCore {
     advance_phase(now);
   }
 
+  // The four store handlers run inline on the sequencing thread in both
+  // engines (direct messages: no routing to defer, no load snapshot to
+  // protect), so the store phase extends the golden trace without any new
+  // parallel-engine machinery.
+
+  void on_put(SimTime now, const Message& m) {
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
+    stores_[m.at].put_u64(m.op, m.value);
+    ++metrics_.puts;
+    send_link(now, protocol::make_put_ack(m));
+  }
+
+  void on_put_ack(SimTime now, const Message& m) {
+    const auto h = StorePool::Handle::unpack(m.slot);
+    if (store_ops_.get(h).key_id != m.op) {
+      throw std::logic_error("NetSimulator: put ack for a recycled op slot");
+    }
+    store_ops_.release(h);
+    ++done_puts_;
+    advance_phase(now);
+  }
+
+  void on_get(SimTime now, const Message& m) {
+    if (cfg_.trace != nullptr) trace_msg(now, obs::TracePhase::kDelivered, m);
+    const auto v = stores_[m.at].get_u64(m.value);
+    send_link(now, protocol::make_get_reply(m, v.has_value(), v.value_or(0)));
+  }
+
+  void on_get_reply(SimTime now, const Message& m) {
+    const auto h = StorePool::Handle::unpack(m.slot);
+    const StoreOp& op = store_ops_.get(h);
+    if (op.op != m.op) {
+      throw std::logic_error("NetSimulator: get reply for a recycled op slot");
+    }
+    if (m.probe == 0) {
+      ++metrics_.get_misses;
+    } else if (m.value != store_value(op.key_id)) {
+      // Every key was written before the read phase starts, so a wrong
+      // value means the store or the wire corrupted it.
+      throw std::logic_error("NetSimulator: get returned a wrong value");
+    }
+    const double latency = now - op.start;
+    store_ops_.release(h);
+    metrics_.get_latency.add(latency);
+    metrics_.get_latency_q.add(latency);
+    ++metrics_.gets;
+    advance_phase(now);
+  }
+
   void on_event(SimTime now, const Message& m) {
     switch (m.type) {
       case MsgType::kProbe:
@@ -454,6 +584,18 @@ class SimCore {
         return;
       case MsgType::kLookupReply:
         on_lookup_reply(now, m);
+        return;
+      case MsgType::kPut:
+        on_put(now, m);
+        return;
+      case MsgType::kPutAck:
+        on_put_ack(now, m);
+        return;
+      case MsgType::kGet:
+        on_get(now, m);
+        return;
+      case MsgType::kGetReply:
+        on_get_reply(now, m);
         return;
     }
     throw std::logic_error("NetSimulator: unknown message type");
@@ -533,11 +675,19 @@ class SimCore {
   rng::DefaultEngine clients_;
   rng::DefaultEngine ties_;
   std::vector<std::uint32_t> loads_;
+  /// One HashStore per simulated node; empty unless cfg.store_gets > 0.
+  std::vector<store::HashStore> stores_;
+  /// Zipf popularity over inserted keys for the read phase.
+  std::optional<rng::AliasTable> store_keys_;
   InsertPool insert_ops_;
   LookupPool lookup_ops_;
+  StorePool store_ops_;
   std::uint64_t next_insert_ = 0;
   std::uint64_t next_lookup_ = 0;
   std::uint64_t done_inserts_ = 0;
+  std::uint64_t next_put_ = 0;
+  std::uint64_t done_puts_ = 0;
+  std::uint64_t next_get_ = 0;
   bool ran_ = false;
   NetMetrics metrics_;
   std::vector<TraceEvent> trace_;

@@ -1,18 +1,20 @@
 // wire.hpp — the fixed little-endian wire codec for net::Message.
 //
 // One datagram carries exactly one message; every field of Message
-// (message.hpp) has a fixed offset in a 56-byte frame, so encode/decode
+// (message.hpp) has a fixed offset in a 64-byte frame, so encode/decode
 // are straight byte shuffles with no varint or length-prefix logic. The
 // format is versioned: a decoder that sees a magic or version it does
 // not speak rejects the frame instead of guessing, which is what lets a
-// future frame revision coexist on a port with this one.
+// future frame revision coexist on a port with this one. Version 2 grew
+// the frame from 56 to 64 bytes for the store `value` field; v1 frames
+// are rejected (a cluster always runs one binary on every node).
 //
 // Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
 //
 //   offset  size  field
 //        0     2  magic 0x4743 ("GC" little-endian)
-//        2     1  version (= 1)
-//        3     1  type (MsgType, 0..5)
+//        2     1  version (= 2)
+//        3     1  type (MsgType, 0..9)
 //        4     4  at
 //        8     4  from
 //       12     4  client
@@ -24,8 +26,9 @@
 //       36     4  dest
 //       40     8  key (bit pattern)
 //       48     8  slot
+//       56     8  value
 //       --------
-//       56 bytes total (kFrameSize)
+//       64 bytes total (kFrameSize)
 //
 // decode() is total: any buffer — wrong size, corrupt header, reserved
 // bytes set, out-of-range type — returns nullopt without reading out of
@@ -44,9 +47,9 @@
 
 namespace geochoice::net::wire {
 
-inline constexpr std::size_t kFrameSize = 56;
+inline constexpr std::size_t kFrameSize = 64;
 inline constexpr std::uint16_t kMagic = 0x4743;  // "GC"
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 
 using Frame = std::array<std::uint8_t, kFrameSize>;
 
@@ -88,7 +91,7 @@ inline void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
 
 }  // namespace detail
 
-/// Serialize `m` into a fixed 56-byte frame.
+/// Serialize `m` into a fixed 64-byte frame.
 [[nodiscard]] inline Frame encode(const Message& m) noexcept {
   Frame f{};  // zero-fills the reserved bytes
   detail::put_u16(f.data() + 0, kMagic);
@@ -104,11 +107,12 @@ inline void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
   detail::put_u32(f.data() + 36, m.dest);
   detail::put_u64(f.data() + 40, std::bit_cast<std::uint64_t>(m.key));
   detail::put_u64(f.data() + 48, m.slot);
+  detail::put_u64(f.data() + 56, m.value);
   return f;
 }
 
 /// Parse a received buffer. Returns nullopt — never reads out of bounds,
-/// never throws — for anything that is not a well-formed v1 frame:
+/// never throws — for anything that is not a well-formed v2 frame:
 /// wrong length, wrong magic, unknown version, out-of-range type, or
 /// nonzero reserved bytes.
 [[nodiscard]] inline std::optional<Message> decode(const std::uint8_t* data,
@@ -130,6 +134,7 @@ inline void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
   m.dest = detail::get_u32(data + 36);
   m.key = std::bit_cast<double>(detail::get_u64(data + 40));
   m.slot = detail::get_u64(data + 48);
+  m.value = detail::get_u64(data + 56);
   return m;
 }
 

@@ -20,8 +20,11 @@
 //     with a deterministic --tie.
 //
 // Flags (shared): --nodes, --port-base, --seed, --trial, --choices,
-// --tie (first|lowest|random), --keys, --lookups, --window,
-// --retransmit-ms, --timeout-ms, --heartbeat-ms (0 = off).
+// --tie (first|lowest|random), --keys, --lookups, --gets, --zipf,
+// --window, --retransmit-ms, --timeout-ms, --heartbeat-ms (0 = off).
+// --gets=N makes the driver write every placed key's value to its owner
+// and then issue N Zipf-popular reads (--zipf exponent, 0 = uniform);
+// the nodes serve both from their HashStores.
 //
 // Observability: with --heartbeat-ms=N every process prints a one-line
 // stats heartbeat to stderr every N ms of transport time; SIGUSR1 dumps
@@ -62,6 +65,8 @@ struct Options {
   std::uint64_t trial = 0;
   std::uint64_t keys = 0;  // 0 = nodes
   std::uint64_t lookups = 0;
+  std::uint64_t gets = 0;  // 0 = no store phase
+  double zipf = 0.9;
   int choices = 2;
   std::uint32_t window = 1;
   core::TieBreak tie = core::TieBreak::kFirstChoice;
@@ -73,15 +78,17 @@ struct Options {
 /// One stats line on stderr — the heartbeat body and the SIGUSR1 dump.
 /// stderr so cluster mode's parsed stdout report stays clean.
 void print_stats(const char* why, std::uint32_t id,
-                 const net::UdpTransport& transport, std::uint64_t stored) {
+                 const net::UdpTransport& transport,
+                 const net::NodeLogic<net::UdpTransport>& node) {
   std::fprintf(stderr,
                "dht_node[%u] %s: t=%llums datagrams_out=%llu "
-               "malformed=%llu keys_stored=%llu\n",
+               "malformed=%llu load=%u keys_stored=%llu\n",
                id, why,
                static_cast<unsigned long long>(transport.now_ms()),
                static_cast<unsigned long long>(transport.links().total),
                static_cast<unsigned long long>(transport.malformed()),
-               static_cast<unsigned long long>(stored));
+               node.load(),
+               static_cast<unsigned long long>(node.keys_stored()));
 }
 
 dht::ChordRing make_ring(const Options& opt) {
@@ -121,10 +128,10 @@ int serve(const Options& opt) {
         [](const net::Message&) {});
     if (g_dump != 0) {
       g_dump = 0;
-      print_stats("dump", opt.id, transport, node.load());
+      print_stats("dump", opt.id, transport, node);
     }
     if (transport.now_ms() >= next_beat) {
-      print_stats("heartbeat", opt.id, transport, node.load());
+      print_stats("heartbeat", opt.id, transport, node);
       next_beat += opt.heartbeat_ms;
     }
   }
@@ -146,6 +153,8 @@ int drive(const Options& opt) {
   dcfg.tie = opt.tie;
   dcfg.seed = opt.seed;
   dcfg.trial = opt.trial;
+  dcfg.store_gets = opt.gets;
+  dcfg.store_zipf_alpha = opt.zipf;
   dcfg.retransmit_ms = opt.retransmit_ms;
   net::ClientDriver<net::UdpTransport> driver(ring, dcfg, transport);
 
@@ -161,10 +170,10 @@ int drive(const Options& opt) {
     }
     if (g_dump != 0) {
       g_dump = 0;
-      print_stats("dump", 0, transport, node.load());
+      print_stats("dump", 0, transport, node);
     }
     if (transport.now_ms() >= next_beat) {
-      print_stats("heartbeat", 0, transport, node.load());
+      print_stats("heartbeat", 0, transport, node);
       next_beat += opt.heartbeat_ms;
     }
     transport.poll(
@@ -174,6 +183,8 @@ int drive(const Options& opt) {
             case net::MsgType::kProbe:
             case net::MsgType::kPlace:
             case net::MsgType::kLookup:
+            case net::MsgType::kPut:
+            case net::MsgType::kGet:
               node.on_message(m);
               return;
             default:
@@ -185,11 +196,16 @@ int drive(const Options& opt) {
   }
 
   const net::DriverReport& r = driver.report();
-  std::printf("nodes=%zu inserts=%llu lookups=%llu max_load=%u "
+  std::printf("nodes=%zu inserts=%llu lookups=%llu puts=%llu gets=%llu "
+              "get_misses=%llu max_load=%u keys_stored=%llu "
               "retransmits=%llu data_retransmits=%llu census_retries=%llu "
               "datagrams_out=%llu malformed=%llu\n",
               opt.nodes, static_cast<unsigned long long>(r.inserts),
-              static_cast<unsigned long long>(r.lookups), r.max_load,
+              static_cast<unsigned long long>(r.lookups),
+              static_cast<unsigned long long>(r.puts),
+              static_cast<unsigned long long>(r.gets),
+              static_cast<unsigned long long>(r.get_misses), r.max_load,
+              static_cast<unsigned long long>(node.keys_stored()),
               static_cast<unsigned long long>(r.total_retransmits()),
               static_cast<unsigned long long>(r.data_retransmits),
               static_cast<unsigned long long>(r.census_retries),
@@ -203,8 +219,15 @@ int drive(const Options& opt) {
                 r.lookup_latency_us.mean(), r.lookup_latency_us_q.value(0),
                 r.lookup_latency_us_q.value(1), r.lookup_latency_us_q.value(2));
   }
+  if (r.gets > 0) {
+    std::printf("get_latency_us: mean=%.1f p50=%.1f p90=%.1f p99=%.1f\n",
+                r.get_latency_us.mean(), r.get_latency_us_q.value(0),
+                r.get_latency_us_q.value(1), r.get_latency_us_q.value(2));
+  }
+  const bool store_done =
+      opt.gets == 0 || (r.puts == dcfg.inserts && r.gets == opt.gets);
   const bool complete =
-      r.inserts == dcfg.inserts && r.lookups == dcfg.lookups &&
+      r.inserts == dcfg.inserts && r.lookups == dcfg.lookups && store_done &&
       r.loads.size() == opt.nodes;
   return complete ? 0 : 1;
 }
@@ -257,6 +280,8 @@ int main(int argc, char** argv) {
     opt.trial = args.get_u64("trial", opt.trial);
     opt.keys = args.get_u64("keys", opt.keys);
     opt.lookups = args.get_u64("lookups", opt.lookups);
+    opt.gets = args.get_u64("gets", opt.gets);
+    opt.zipf = args.get_double("zipf", opt.zipf);
     opt.choices = static_cast<int>(args.get_u64("choices", 2));
     opt.window = static_cast<std::uint32_t>(args.get_u64("window", 1));
     opt.tie = core::tie_break_from_string(args.get_string("tie", "first"));

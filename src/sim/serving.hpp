@@ -1,0 +1,102 @@
+// serving.hpp — the open-loop serving harness: what a placement policy
+// *costs* at request time.
+//
+// The paper measures placement quality as max load; a serving fleet
+// feels it as tail latency. This harness closes that gap in three
+// phases:
+//
+//   1. Placement. The wire-level engine (net::NetSimulator) places
+//      `keys` keys on `nodes` Chord nodes with d-choice probing — the
+//      window/latency knobs select the policy: window = 1 with zero
+//      latency is the serialized baseline (bit-identical to the
+//      structural engines, pinned by tests/test_serving.cpp), larger
+//      windows with real latency give the stale-load variant.
+//   2. Storage. Every placed key's value goes into its owner's
+//      store::HashStore — the same store NodeLogic serves over UDP —
+//      so reads below exercise real table probes, not an abstraction.
+//   3. Serving. An open-loop request stream (Poisson arrivals with
+//      on/off burst modulation, Zipf key popularity) reads keys from
+//      their owners. Each node is a FIFO queue whose service time grows
+//      with its backlog — service_base * (1 + coupling * depth) — so a
+//      node that attracted too many hot keys punishes its requests
+//      twice: more arrivals AND slower service. Latency percentiles
+//      stream through stats::P2QuantileSet (p50/p99/p999); no
+//      per-request trace is kept.
+//
+// Open loop means arrivals never wait for completions — exactly the
+// regime where placement skew turns into tail blowup (a closed loop
+// self-throttles and hides it).
+//
+// Determinism: phase 1 is the deterministic wire engine; phase 3 draws
+// arrivals and keys from make_stream(seed, trial, kWorkload). Latency
+// *values* involve libm (log in the exponential draws), so cross-policy
+// comparisons are same-run ratios; placements are bit-stable everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tie_breaking.hpp"
+#include "net/latency.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace geochoice::sim {
+
+/// One serving experiment: a placement policy (choices/window/tie/
+/// latency), a keyspace, and an open-loop read workload over it.
+struct ServingConfig {
+  std::uint64_t nodes = 128;
+  /// Keys placed and stored; also the Zipf universe the reads draw from.
+  std::uint64_t keys = 4096;
+  /// Probes per placement (1 = one-choice baseline).
+  int choices = 2;
+  /// Placement-phase op window; > 1 with positive latency lets load
+  /// replies go stale (the stale-window policy).
+  std::uint32_t window = 1;
+  core::TieBreak tie = core::TieBreak::kFirstChoice;
+  /// Placement-phase per-hop latency (drives staleness, not serving).
+  net::LatencyModel latency = net::LatencyModel::zero();
+  /// Open-loop read requests.
+  std::uint64_t requests = 1 << 15;
+  /// Key popularity skew (0 = uniform).
+  double zipf_alpha = 0.9;
+  /// Mean arrival rate, requests per microsecond of model time.
+  double arrival_rate = 0.5;
+  /// On-phase rate multiplier (off-phase divides by it); 1 disables
+  /// bursts and leaves a plain Poisson stream.
+  double burst_factor = 4.0;
+  /// Full on+off cycle length in microseconds.
+  double burst_period_us = 2048.0;
+  /// Service time of a request hitting an idle node.
+  double service_base_us = 1.0;
+  /// Backlog sensitivity: service = base * (1 + coupling * queue_depth).
+  double queue_coupling = 0.25;
+  std::uint64_t seed = 0x6e657473696d2121ULL;  // NetConfig's default
+  std::uint64_t trial = 0;
+};
+
+struct ServingReport {
+  /// Owner node of key k — phase 1's output, the differential surface.
+  std::vector<std::uint32_t> placements;
+  /// Placement-phase max load (the paper's metric, for the same run).
+  std::uint32_t max_load = 0;
+  std::uint64_t requests = 0;
+  /// Reads whose owner's store had no value (always 0: phase 2 stores
+  /// every key before phase 3 reads any).
+  std::uint64_t misses = 0;
+  /// Deepest backlog any node saw at an arrival instant.
+  std::uint32_t peak_queue = 0;
+  /// Last completion time: the span the open-loop stream occupied.
+  double makespan_us = 0.0;
+  stats::RunningStats latency_us;
+  /// Streaming p50 / p99 / p999 of request latency.
+  stats::P2QuantileSet latency_us_q{{0.5, 0.99, 0.999}};
+};
+
+/// Run all three phases. Throws std::invalid_argument on unrunnable
+/// configs (zero nodes/keys, choices out of range, non-positive rates,
+/// burst_factor < 1, region-measure ties).
+[[nodiscard]] ServingReport run_serving(const ServingConfig& cfg);
+
+}  // namespace geochoice::sim

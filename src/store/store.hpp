@@ -1,0 +1,6 @@
+// store.hpp — umbrella header for the storage layer (src/store/):
+// ValueArena pooled slab values + the hopscotch HashStore on top.
+#pragma once
+
+#include "store/hash_store.hpp"   // IWYU pragma: export
+#include "store/value_arena.hpp"  // IWYU pragma: export

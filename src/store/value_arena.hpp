@@ -1,0 +1,196 @@
+// value_arena.hpp — pooled slab storage for HashStore values.
+//
+// Values live on size-classed slabs (8..256 bytes per slot, 1024 slots per
+// slab) and are addressed by a generation-checked ValueRef, following the
+// core::ObjectPool discipline: a freed slot bumps its generation, so a
+// stale handle throws instead of silently reading reused bytes. Slabs are
+// never returned to the allocator — releases feed per-class LIFO free
+// lists — so a warmed arena serves store/release cycles with zero heap
+// traffic (allocations() lets tests pin that).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace geochoice::store {
+
+/// Handle to one stored value. Packs (generation << 32) | (class << 28) |
+/// slot, mirroring core::ObjectPool::Handle; bits == 0 is the null ref
+/// (generations start at 1, so no live slot ever packs to 0).
+struct ValueRef {
+  std::uint64_t bits = 0;
+
+  [[nodiscard]] constexpr bool null() const { return bits == 0; }
+  friend constexpr bool operator==(const ValueRef&, const ValueRef&) = default;
+};
+
+class ValueArena {
+ public:
+  /// Size classes double from 8 to 256 bytes; larger values are rejected
+  /// (the wire protocol ships 8-byte values, the serving bench up to 256).
+  static constexpr std::size_t kClassCount = 6;
+  static constexpr std::size_t kMinSlotBytes = 8;
+  static constexpr std::size_t kMaxValueBytes = kMinSlotBytes
+                                                << (kClassCount - 1);
+  static constexpr std::size_t kSlotsPerSlab = 1024;
+
+  ValueArena() = default;
+  // Move-only: a handle's slab addresses must never be silently
+  // duplicated (see HashStore for the trait rationale).
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+  ValueArena(ValueArena&&) noexcept = default;
+  ValueArena& operator=(ValueArena&&) noexcept = default;
+
+  /// Copy `bytes` into a pooled slot and return its handle.
+  [[nodiscard]] ValueRef store(std::span<const std::uint8_t> bytes) {
+    const std::size_t cls = class_for(bytes.size());
+    SizeClass& sc = classes_[cls];
+    if (sc.free_list.empty()) add_slab(cls);
+    const std::uint32_t slot = sc.free_list.back();
+    sc.free_list.pop_back();
+    sc.length[slot] = static_cast<std::uint32_t>(bytes.size());
+    if (!bytes.empty()) {
+      std::memcpy(slot_ptr(sc, slot), bytes.data(), bytes.size());
+    }
+    ++live_;
+    return ValueRef{(static_cast<std::uint64_t>(sc.generation[slot]) << 32) |
+                    (static_cast<std::uint64_t>(cls) << 28) | slot};
+  }
+
+  /// Convenience for the wire path's fixed 8-byte values.
+  [[nodiscard]] ValueRef store_u64(std::uint64_t v) {
+    std::uint8_t buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    return store(std::span<const std::uint8_t>(buf, sizeof buf));
+  }
+
+  /// View the stored bytes. Throws std::logic_error on a null, stale, or
+  /// forged handle — a release()d slot can never be read through an old ref.
+  [[nodiscard]] std::span<const std::uint8_t> load(ValueRef ref) const {
+    const SizeClass& sc = checked_class(ref);
+    const std::uint32_t slot = slot_of(ref);
+    return {slot_ptr(sc, slot), sc.length[slot]};
+  }
+
+  [[nodiscard]] std::uint64_t load_u64(ValueRef ref) const {
+    const auto bytes = load(ref);
+    if (bytes.size() != sizeof(std::uint64_t)) {
+      throw std::logic_error("ValueArena: value is not a u64");
+    }
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data(), sizeof v);
+    return v;
+  }
+
+  /// Return the slot to its class free list. Throws on stale handles, so a
+  /// double release is a hard error rather than silent free-list corruption.
+  void release(ValueRef ref) {
+    SizeClass& sc = classes_[class_of(checked(ref))];
+    const std::uint32_t slot = slot_of(ref);
+    ++sc.generation[slot];
+    sc.length[slot] = kFreeSentinel;
+    sc.free_list.push_back(slot);
+    --live_;
+  }
+
+  /// Heap allocations ever made (slab blocks + bookkeeping growth events).
+  /// Constant across a warmed steady state — the zero-allocation pin.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  [[nodiscard]] std::uint64_t live() const { return live_; }
+
+ private:
+  static constexpr std::uint32_t kFreeSentinel = 0xffffffffu;
+
+  struct SizeClass {
+    std::vector<std::unique_ptr<std::uint8_t[]>> slabs;
+    std::vector<std::uint32_t> generation;  // per slot, starts at 1
+    std::vector<std::uint32_t> length;      // kFreeSentinel when free
+    std::vector<std::uint32_t> free_list;   // LIFO for determinism
+  };
+
+  [[nodiscard]] static std::size_t class_for(std::size_t len) {
+    std::size_t cls = 0;
+    std::size_t cap = kMinSlotBytes;
+    while (cap < len) {
+      cap <<= 1;
+      ++cls;
+    }
+    if (cls >= kClassCount) {
+      throw std::invalid_argument("ValueArena: value larger than 256 bytes");
+    }
+    return cls;
+  }
+
+  [[nodiscard]] static constexpr std::size_t class_of(ValueRef ref) {
+    return (ref.bits >> 28) & 0xf;
+  }
+  [[nodiscard]] static constexpr std::uint32_t slot_of(ValueRef ref) {
+    return static_cast<std::uint32_t>(ref.bits & 0x0fffffffu);
+  }
+  [[nodiscard]] static constexpr std::uint32_t generation_of(ValueRef ref) {
+    return static_cast<std::uint32_t>(ref.bits >> 32);
+  }
+
+  [[nodiscard]] ValueRef checked(ValueRef ref) const {
+    if (ref.null()) throw std::logic_error("ValueArena: null handle");
+    const std::size_t cls = class_of(ref);
+    if (cls >= kClassCount) throw std::logic_error("ValueArena: bad class");
+    const SizeClass& sc = classes_[cls];
+    const std::uint32_t slot = slot_of(ref);
+    if (slot >= sc.generation.size() ||
+        sc.generation[slot] != generation_of(ref) ||
+        sc.length[slot] == kFreeSentinel) {
+      throw std::logic_error("ValueArena: stale value handle");
+    }
+    return ref;
+  }
+
+  [[nodiscard]] const SizeClass& checked_class(ValueRef ref) const {
+    return classes_[class_of(checked(ref))];
+  }
+
+  [[nodiscard]] std::uint8_t* slot_ptr(SizeClass& sc, std::uint32_t slot) {
+    const std::size_t bytes = slot_bytes(sc);
+    return sc.slabs[slot / kSlotsPerSlab].get() +
+           static_cast<std::size_t>(slot % kSlotsPerSlab) * bytes;
+  }
+  [[nodiscard]] const std::uint8_t* slot_ptr(const SizeClass& sc,
+                                             std::uint32_t slot) const {
+    const std::size_t bytes = slot_bytes(sc);
+    return sc.slabs[slot / kSlotsPerSlab].get() +
+           static_cast<std::size_t>(slot % kSlotsPerSlab) * bytes;
+  }
+
+  [[nodiscard]] std::size_t slot_bytes(const SizeClass& sc) const {
+    return kMinSlotBytes << static_cast<std::size_t>(&sc - classes_.data());
+  }
+
+  void add_slab(std::size_t cls) {
+    SizeClass& sc = classes_[cls];
+    const std::size_t base = sc.generation.size();
+    if (base + kSlotsPerSlab > (std::size_t{1} << 28)) {
+      throw std::length_error("ValueArena: size class full");
+    }
+    sc.slabs.push_back(std::make_unique<std::uint8_t[]>(
+        kSlotsPerSlab * (kMinSlotBytes << cls)));
+    sc.generation.resize(base + kSlotsPerSlab, 1);
+    sc.length.resize(base + kSlotsPerSlab, kFreeSentinel);
+    sc.free_list.reserve(sc.generation.size());
+    // LIFO free list: push high slots first so slot `base` pops first.
+    for (std::size_t i = kSlotsPerSlab; i-- > 0;) {
+      sc.free_list.push_back(static_cast<std::uint32_t>(base + i));
+    }
+    ++allocations_;
+  }
+
+  std::vector<SizeClass> classes_ = std::vector<SizeClass>(kClassCount);
+  std::uint64_t allocations_ = 0;
+  std::uint64_t live_ = 0;
+};
+
+}  // namespace geochoice::store

@@ -216,6 +216,44 @@ TEST(NetSim, GoldenTraceHashUnchangedWithObsAndTracing) {
   }
 }
 
+namespace {
+
+gn::NetConfig store_config() {
+  auto cfg = mixed_config();
+  // The store phase appends per-key kPut writes and Zipf kGet reads to the
+  // same trace. alpha = 0 here because std::pow(x, 0.0) == 1.0 is an
+  // IEEE/C special case: the weights — and with them the key draws and
+  // the pinned hash — stay bit-stable across libm implementations.
+  // (Skewed alphas are exercised by the serving bench, whose perf gates
+  // are same-run ratios.)
+  cfg.store_gets = 256;
+  cfg.store_zipf_alpha = 0.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(NetSim, StoreWorkloadGoldenTraceHash) {
+  // The store-enabled run has its own pin: one put per placed key, every
+  // get answered from the recorded owner, zero misses — bit-reproducible
+  // from (seed, config) like every other trace.
+  const auto m = gn::NetSimulator::simulate(store_config());
+  EXPECT_EQ(m.puts, store_config().insert_count());
+  EXPECT_EQ(m.gets, 256u);
+  EXPECT_EQ(m.get_misses, 0u);
+  EXPECT_GT(m.get_latency.count(), 0u);
+  EXPECT_EQ(m.trace_hash, 0xb5e9d7a646c23c91ULL);
+}
+
+TEST(NetSim, StoreWorkloadRecordsPlacements) {
+  // metrics.placements must agree with the per-node load tallies: each
+  // node's final load is exactly the number of keys placed on it.
+  const auto m = gn::NetSimulator::simulate(store_config());
+  std::vector<std::uint32_t> by_owner(m.loads.size(), 0);
+  for (const std::uint32_t owner : m.placements) ++by_owner[owner];
+  EXPECT_EQ(by_owner, m.loads);
+}
+
 TEST(NetSim, ScenarioIsThreadCountInvariant) {
   gs::NetScenarioConfig cfg;
   cfg.net = mixed_config();

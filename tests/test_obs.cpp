@@ -11,10 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "net/parallel_simulator.hpp"
+#include "net/simulator.hpp"
 #include "obs/obs.hpp"
 
 namespace {
@@ -141,6 +145,58 @@ TEST(ObsRegistry, SpanFeedsItsTimer) {
   EXPECT_EQ(find_metric(all, "test.span.calls").count, 1u);
   // Even an empty scope reads the clock twice; the duration is >= 0 by
   // construction, so only the call count is worth pinning.
+}
+
+/// Snapshot the store.* metrics as name -> (count, buckets). Durations
+/// and sums are wall-clock-dependent; counts and bucket tallies are what
+/// the engines must agree on.
+std::map<std::string, std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+store_counts() {
+  std::map<std::string,
+           std::pair<std::uint64_t, std::vector<std::uint64_t>>> out;
+  for (const auto& m : obs::Registry::global().snapshot()) {
+    if (m.name.rfind("store.", 0) != 0) continue;
+    if (m.name == "store.resize.ns") continue;  // wall clock
+    out[m.name] = {m.count, m.buckets};
+  }
+  return out;
+}
+
+TEST(ObsRegistry, StoreCountersAreWorkerAndShardInvariant) {
+  EnabledScope on;
+  net::NetConfig cfg;
+  cfg.nodes = 16;
+  cfg.keys = 1024;  // ~64 keys per 32-bucket store: resizes genuinely run
+  cfg.window = 8;
+  cfg.lookups = 16;
+  cfg.tie = core::TieBreak::kFirstChoice;
+  cfg.store_gets = 512;
+  const auto ring = net::NetSimulator::make_ring(cfg);
+
+  obs::Registry::global().reset();
+  (void)net::NetSimulator(ring, cfg).run();
+  const auto reference = store_counts();
+
+  // The sequential run actually exercised the store surface.
+  ASSERT_EQ(reference.at("store.puts").first, 1024u);
+  ASSERT_EQ(reference.at("store.gets").first, 512u);
+  ASSERT_EQ(reference.at("store.misses").first, 0u);
+  ASSERT_GT(reference.at("store.resizes").first, 0u);
+  ASSERT_EQ(reference.at("store.resize.calls").first,
+            reference.at("store.resizes").first);
+  ASSERT_EQ(reference.at("store.probe_len").first, 1024u);
+
+  // Bit-identical placements mean bit-identical store traffic: every
+  // worker x shard shape must reproduce the sequential counters exactly,
+  // buckets included.
+  for (const auto& shape : {net::ParallelConfig{1, 1},
+                            net::ParallelConfig{2, 4},
+                            net::ParallelConfig{2, 16}}) {
+    obs::Registry::global().reset();
+    (void)net::ParallelNetSimulator(ring, cfg, shape).run();
+    EXPECT_EQ(store_counts(), reference)
+        << "workers=" << shape.workers << " shards=" << shape.shards;
+  }
 }
 
 TEST(ObsRegistry, SpanIsInertWhenDisabled) {

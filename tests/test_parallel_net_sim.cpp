@@ -102,6 +102,37 @@ TEST(ParallelNetSim, GoldenTraceHashMatchesSequentialPin) {
   EXPECT_EQ(m.trace_hash, 0x59434247df5e10ecULL);
 }
 
+TEST(ParallelNetSim, StoreWorkloadTraceMatchesSequential) {
+  // The store phase (kPut/kGet, handled inline on the sequencer) extends
+  // the trace; the parallel engine must replay it bit-exactly at every
+  // worker x shard x crew shape, landing on the same pin as
+  // NetSim.StoreWorkloadGoldenTraceHash.
+  auto cfg = mixed_config();
+  cfg.store_gets = 256;
+  cfg.store_zipf_alpha = 0.0;  // pow(x, 0) == 1: libm-independent weights
+  const auto ring = gn::NetSimulator::make_ring(cfg);
+  gn::NetSimulator seq(ring, cfg);
+  const auto seq_metrics = seq.run();
+  EXPECT_EQ(seq_metrics.trace_hash, 0xb5e9d7a646c23c91ULL);
+  for (const auto mode : {gn::CrewMode::kAlways, gn::CrewMode::kNever}) {
+    for (const std::size_t workers : {1u, 4u}) {
+      for (const std::uint32_t shards : {1u, 16u}) {
+        const std::string label =
+            "workers=" + std::to_string(workers) +
+            " shards=" + std::to_string(shards) +
+            (mode == gn::CrewMode::kAlways ? " crew=always" : " crew=never");
+        gn::ParallelNetSimulator par(ring, cfg, {workers, shards, mode});
+        const auto par_metrics = par.run();
+        expect_same_metrics(seq_metrics, par_metrics, label);
+        EXPECT_EQ(par_metrics.puts, seq_metrics.puts) << label;
+        EXPECT_EQ(par_metrics.gets, seq_metrics.gets) << label;
+        EXPECT_EQ(par_metrics.get_misses, 0u) << label;
+        EXPECT_EQ(par_metrics.placements, seq_metrics.placements) << label;
+      }
+    }
+  }
+}
+
 TEST(ParallelNetSim, GoldenHashUnchangedWithObsAndTracing) {
   // Obs fully on, recorder attached, barrier spans timing every window:
   // the parallel engine must still replay the exact golden sequence.

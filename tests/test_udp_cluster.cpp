@@ -148,6 +148,54 @@ TEST(UdpCluster, CensusLoadsAccountForEveryInsert) {
   EXPECT_GT(real.datagrams, 0u);
 }
 
+TEST(UdpCluster, StoreReadsServeTheSameValuesAsTheSimulator) {
+  net::ClusterConfig ccfg;
+  ccfg.nodes = 3;
+  ccfg.driver.inserts = 48;
+  ccfg.driver.choices = 2;
+  ccfg.driver.window = 1;
+  ccfg.driver.tie = core::TieBreak::kFirstChoice;
+  ccfg.driver.store_gets = 64;
+  ccfg.driver.store_zipf_alpha = 0.9;
+  ccfg.driver.seed = kSeed;
+  ccfg.driver.trial = 3;
+
+  net::ClusterResult real;
+  try {
+    real = run_cluster_or_skip(ccfg);
+  } catch (const std::system_error&) {
+    return;
+  }
+
+  net::NetConfig scfg;
+  scfg.nodes = ccfg.nodes;
+  scfg.keys = ccfg.driver.inserts;
+  scfg.choices = ccfg.driver.choices;
+  scfg.window = 1;
+  scfg.tie = core::TieBreak::kFirstChoice;
+  scfg.store_gets = ccfg.driver.store_gets;
+  scfg.store_zipf_alpha = ccfg.driver.store_zipf_alpha;
+  scfg.latency = net::LatencyModel::zero();
+  scfg.seed = kSeed;
+  scfg.trial = 3;
+  net::NetMetrics oracle;
+  const auto expected = oracle_placements(scfg, &oracle);
+
+  // Same placements, so the same owners served the same keys; the driver
+  // already threw if any get returned bytes != protocol::store_value(key).
+  EXPECT_EQ(real.report.placements, expected);
+  EXPECT_EQ(real.report.puts, ccfg.driver.inserts);
+  EXPECT_EQ(real.report.gets, ccfg.driver.store_gets);
+  EXPECT_EQ(real.report.get_misses, 0u);
+  EXPECT_EQ(oracle.get_misses, 0u);
+  EXPECT_EQ(real.report.puts, oracle.puts);
+  EXPECT_EQ(real.report.gets, oracle.gets);
+  // Every inserted key holds exactly one value somewhere in the cluster.
+  EXPECT_EQ(real.keys_stored, ccfg.driver.inserts);
+  EXPECT_EQ(real.report.get_latency_us_q.count(), ccfg.driver.store_gets);
+  EXPECT_EQ(real.malformed, 0u);
+}
+
 TEST(UdpCluster, TraceRecorderSeesRealDatagramLifecycles) {
   net::ClusterConfig ccfg;
   ccfg.nodes = 3;

@@ -43,6 +43,7 @@ Message random_message(rng::DefaultEngine& gen) {
   m.load = static_cast<std::uint32_t>(gen());
   m.dest = static_cast<std::uint32_t>(gen());
   m.slot = gen();
+  m.value = gen();
   return m;
 }
 
@@ -82,6 +83,26 @@ TEST(Wire, HeaderIsVersionedLittleEndian) {
   EXPECT_EQ(f[25], 0);  // reserved bytes are zero on the wire
   EXPECT_EQ(f[26], 0);
   EXPECT_EQ(f[27], 0);
+}
+
+TEST(Wire, ValueFieldSitsAtOffset56LittleEndian) {
+  Message m;
+  m.type = MsgType::kPut;
+  m.value = 0x0807060504030201ULL;
+  const net::wire::Frame f = net::wire::encode(m);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(f[56 + i], static_cast<std::uint8_t>(i + 1)) << "byte " << i;
+  }
+}
+
+TEST(Wire, RejectsV1Frames) {
+  // v2 grew the frame for the store value field; a v1 peer's frames must
+  // be dropped as malformed, never half-decoded with a garbage value.
+  Message m;
+  m.type = MsgType::kPlace;
+  net::wire::Frame f = net::wire::encode(m);
+  f[2] = 1;
+  EXPECT_FALSE(net::wire::decode(f).has_value());
 }
 
 TEST(Wire, RejectsEveryTruncationAndExtension) {
